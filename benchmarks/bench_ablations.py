@@ -1,0 +1,36 @@
+"""Optimization-recommendation ablations (paper Recs. 1, 5, 7, 8, 9, 10).
+
+Shape checks: each recommendation must not collapse task success, and the
+latency-oriented ones must actually cut latency or call volume on their
+motivating workloads.
+"""
+
+from conftest import emit
+
+from repro.experiments import ablations
+
+
+def test_recommendation_ablations(benchmark, settings):
+    result = benchmark.pedantic(ablations.run, args=(settings,), rounds=1, iterations=1)
+
+    # Rec. 1 (quantization): decode speedup -> end-to-end speedup.
+    assert result.latency_speedup("rec1_quantization") > 1.05
+
+    # Rec. 7 (multi-step planning): fewer planning calls.
+    baseline, optimized = result.pair("rec7_multistep")
+    assert optimized.llm_calls < baseline.llm_calls
+
+    # Rec. 8 (planning-then-communication): fewer messages.
+    baseline, optimized = result.pair("rec8_plan_then_comm")
+    assert optimized.messages_sent <= baseline.messages_sent
+
+    # Rec. 10 (message filtering): fewer messages.
+    baseline, optimized = result.pair("rec10_comm_filter")
+    assert optimized.messages_sent <= baseline.messages_sent
+
+    # No recommendation may collapse success by more than 30 pp.
+    for name in sorted({row.recommendation for row in result.rows}):
+        baseline, optimized = result.pair(name)
+        assert optimized.success_rate >= baseline.success_rate - 0.30, name
+
+    emit("Optimization ablations (Recs 1/5/7/8/9/10)", ablations.render(result))

@@ -1,0 +1,42 @@
+"""Figure 2: runtime latency analysis (per-module breakdown + totals).
+
+Shape checks encoded from the paper:
+- per-step latency lands in the seconds-to-tens-of-seconds regime,
+- LLM-based modules dominate the latency mix on average,
+- execution is a major share for the manipulation-heavy systems
+  (RoCo / DaDu-E / EmbodiedGPT),
+- totals per task land in the minutes-to-tens-of-minutes regime.
+"""
+
+from conftest import emit
+
+from repro.core.clock import ModuleName
+from repro.experiments import fig2_latency
+
+
+def test_fig2_latency_breakdown(benchmark, settings):
+    result = benchmark.pedantic(
+        fig2_latency.run, args=(settings,), rounds=1, iterations=1
+    )
+    by_name = {profile.workload: profile for profile in result.profiles}
+
+    assert len(result.profiles) == 14
+
+    # Per-step latency in the paper's regime (Fig. 2a: ~10-30 s/step for
+    # the GPT-4 systems; the small-local-planner EmbodiedGPT is faster).
+    for profile in result.profiles:
+        assert 1.0 < profile.seconds_per_step < 90.0, profile.workload
+
+    # LLM modules dominate on average (paper: 70.2%).
+    assert result.mean_llm_fraction > 0.45
+
+    # Execution-heavy systems (paper: RoCo 49.4%, DaDu-E 38.1%,
+    # EmbodiedGPT 24.1%) show large execution shares.
+    assert by_name["roco"].share_of(ModuleName.EXECUTION) > 0.25
+    assert by_name["dadu-e"].share_of(ModuleName.EXECUTION) > 0.2
+    assert by_name["embodiedgpt"].share_of(ModuleName.EXECUTION) > 0.15
+
+    # Total runtimes: minutes, not seconds (Fig. 2b: 10-40 min).
+    assert max(profile.total_minutes for profile in result.profiles) > 5.0
+
+    emit("Figure 2 (latency analysis)", fig2_latency.render(result))

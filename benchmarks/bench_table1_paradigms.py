@@ -1,0 +1,19 @@
+"""Table I: paradigm categorization of embodied AI agent systems.
+
+Regenerates the paper's Table I — every categorized system with its
+module composition (sensing/planning/communication/memory/reflection/
+execution) and embodied type — from the workload registry.
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table1
+from repro.workloads import EXTENDED_TAXONOMY, full_taxonomy
+
+
+def test_table1_regeneration(benchmark):
+    table = benchmark(render_table1)
+    entries = full_taxonomy()
+    assert len(entries) == 14 + len(EXTENDED_TAXONOMY)
+    assert "jarvis-1" in table and "rt-2" in table
+    emit("Table I (paradigm categorization)", table)

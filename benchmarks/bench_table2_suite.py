@@ -1,0 +1,25 @@
+"""Table II: the 14-system workload suite with per-module models.
+
+Regenerates the paper's Table II from the registry and verifies the suite
+loads and runs (one quick episode per workload inside the benchmark).
+"""
+
+from conftest import emit
+
+from repro.analysis.tables import render_table2
+from repro.core.runner import run_episode
+from repro.workloads import WORKLOAD_SUITE
+
+
+def regenerate_and_validate() -> str:
+    table = render_table2()
+    for workload in WORKLOAD_SUITE:
+        result = run_episode(workload.config, seed=0, difficulty="easy")
+        assert result.steps >= 1, workload.name
+    return table
+
+
+def test_table2_regeneration(benchmark):
+    table = benchmark.pedantic(regenerate_and_validate, rounds=1, iterations=1)
+    assert table.count("\n") >= 15
+    emit("Table II (workload suite)", table)

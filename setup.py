@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+legacy editable installs (``pip install -e . --no-use-pep517``) on
+minimal offline hosts.
+"""
+
+from setuptools import setup
+
+setup()

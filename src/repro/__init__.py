@@ -1,0 +1,46 @@
+"""repro: reproduction of "Generative AI in Embodied Systems" (ISPASS 2025).
+
+A system-level simulation and benchmarking suite for LLM-driven embodied
+agents.  The public API re-exports the pieces a downstream user needs:
+
+- :func:`run_episode` / :func:`run_trials` — execute configured systems,
+- :data:`repro.workloads.WORKLOAD_SUITE` — the 14 benchmarked systems,
+- :class:`SystemConfig` — declare custom systems,
+- :mod:`repro.experiments` — regenerate every paper table and figure.
+"""
+
+from repro.core import (
+    AggregateResult,
+    EpisodeResult,
+    FaultKind,
+    MemoryConfig,
+    ModuleName,
+    OptimizationConfig,
+    SystemConfig,
+    TaskSpec,
+    run_episode,
+    run_trials,
+)
+from repro.envs import make_env, make_task
+from repro.workloads import WORKLOAD_SUITE, get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateResult",
+    "EpisodeResult",
+    "FaultKind",
+    "MemoryConfig",
+    "ModuleName",
+    "OptimizationConfig",
+    "SystemConfig",
+    "TaskSpec",
+    "WORKLOAD_SUITE",
+    "__version__",
+    "get_workload",
+    "list_workloads",
+    "make_env",
+    "make_task",
+    "run_episode",
+    "run_trials",
+]

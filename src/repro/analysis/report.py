@@ -1,0 +1,92 @@
+"""ASCII rendering of experiment results (tables and bar/series plots).
+
+The benchmark harness prints the same rows/series the paper reports;
+these helpers keep that output aligned and readable in a terminal and in
+captured bench logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Monospace table with per-column width fitting."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_bar(value: float, maximum: float, width: int = 30) -> str:
+    """A single horizontal bar scaled to ``maximum``."""
+    if maximum <= 0:
+        return ""
+    filled = int(round(width * min(1.0, value / maximum)))
+    return "#" * filled + "." * (width - filled)
+
+
+def format_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    unit: str = "",
+    width: int = 30,
+) -> str:
+    """Labelled horizontal bar chart (one row per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    maximum = max(values, default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = format_bar(value, maximum, width=width)
+        lines.append(f"{label.ljust(label_width)}  {bar}  {value:8.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_series(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "x",
+    precision: int = 1,
+) -> str:
+    """Numeric multi-series table (x in first column, one column per series)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row: list[object] = [x_value]
+        for name in series:
+            values = series[name]
+            row.append(
+                f"{values[index]:.{precision}f}" if index < len(values) else ""
+            )
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def checkmark(flag: bool) -> str:
+    return "yes" if flag else "-"

@@ -1,0 +1,90 @@
+"""Regeneration of the paper's Table I and Table II from the registry."""
+
+from __future__ import annotations
+
+from repro.analysis.report import checkmark, format_table
+from repro.workloads.base import TaxonomyEntry, Workload
+from repro.workloads.registry import WORKLOAD_SUITE, full_taxonomy
+
+_CATEGORY_LABELS = {
+    "single-modular": "Single-Agent / Modularized",
+    "single-end-to-end": "Single-Agent / End-to-End",
+    "multi-centralized": "Multi-Agent / Centralized",
+    "multi-decentralized": "Multi-Agent / Decentralized",
+}
+
+_MODULE_HEADERS = ["Sense", "Plan", "Comm.", "Mem.", "Refl.", "Exec."]
+
+
+def taxonomy_rows(entries: list[TaxonomyEntry]) -> list[list[str]]:
+    rows = []
+    for entry in sorted(entries, key=lambda e: (e.category, e.name)):
+        flags = entry.module_flags()
+        rows.append(
+            [
+                _CATEGORY_LABELS[entry.category],
+                entry.name,
+                checkmark(flags["sensing"]),
+                checkmark(flags["planning"]),
+                checkmark(flags["communication"]),
+                checkmark(flags["memory"]),
+                checkmark(flags["reflection"]),
+                checkmark(flags["execution"]),
+                entry.embodied_type,
+            ]
+        )
+    return rows
+
+
+def render_table1() -> str:
+    """Table I: paradigm categorization of embodied AI agent systems."""
+    headers = ["Paradigm", "System"] + _MODULE_HEADERS + ["Embodied Type"]
+    return format_table(
+        headers,
+        taxonomy_rows(full_taxonomy()),
+        title="Table I: Embodied AI Agent Systems (paradigms and modules)",
+    )
+
+
+def suite_rows(suite: tuple[Workload, ...] = WORKLOAD_SUITE) -> list[list[str]]:
+    rows = []
+    for workload in suite:
+        config = workload.config
+        rows.append(
+            [
+                workload.name,
+                config.sensing_model or "-",
+                config.planning_model,
+                config.communication_model or "-",
+                f"cap={config.memory.capacity_steps}" if config.memory else "-",
+                config.reflection_model or "-",
+                "grounded" if config.execution_enabled else "-",
+                config.env_name,
+                config.paradigm,
+                str(config.default_agents),
+                workload.application,
+            ]
+        )
+    return rows
+
+
+def render_table2() -> str:
+    """Table II: the benchmarked workload suite with module models."""
+    headers = [
+        "System",
+        "Sensing",
+        "Planning",
+        "Comm.",
+        "Memory",
+        "Reflection",
+        "Execution",
+        "Env",
+        "Paradigm",
+        "Agents",
+        "Application",
+    ]
+    return format_table(
+        headers,
+        suite_rows(),
+        title="Table II: Embodied Agent Systems Workload Suite",
+    )

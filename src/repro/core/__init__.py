@@ -1,0 +1,61 @@
+"""Core framework: clock, types, modules, paradigms, runners, metrics."""
+
+from repro.core.agent import EmbodiedAgent
+from repro.core.beliefs import Beliefs
+from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock, Span
+from repro.core.config import MemoryConfig, OptimizationConfig, SystemConfig
+from repro.core.errors import FaultKind, ReproError
+from repro.core.metrics import (
+    AggregateResult,
+    EpisodeResult,
+    MetricsCollector,
+    TokenSample,
+    aggregate,
+)
+from repro.core.runner import build_loop, build_task, run_episode, run_trials
+from repro.core.types import (
+    Action,
+    ActionResult,
+    Candidate,
+    Decision,
+    Fact,
+    Message,
+    Observation,
+    StepRecord,
+    Subgoal,
+    TaskSpec,
+)
+
+__all__ = [
+    "Action",
+    "ActionResult",
+    "AggregateResult",
+    "Beliefs",
+    "Candidate",
+    "Decision",
+    "EmbodiedAgent",
+    "EpisodeResult",
+    "Fact",
+    "FaultKind",
+    "LLM_MODULES",
+    "MODULE_ORDER",
+    "MemoryConfig",
+    "Message",
+    "MetricsCollector",
+    "ModuleName",
+    "Observation",
+    "OptimizationConfig",
+    "ReproError",
+    "SimClock",
+    "Span",
+    "StepRecord",
+    "Subgoal",
+    "SystemConfig",
+    "TaskSpec",
+    "TokenSample",
+    "aggregate",
+    "build_loop",
+    "build_task",
+    "run_episode",
+    "run_trials",
+]

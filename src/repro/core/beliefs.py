@@ -1,0 +1,81 @@
+"""The agent's belief state: what it currently thinks is true.
+
+Beliefs are the read-side contract between the memory module (which owns
+retention and retrieval) and the environment adapters (which enumerate
+feasible subgoals against what the agent *knows*, not against ground
+truth).  A belief slot is a ``(subject, relation)`` pair holding the most
+recently learned value; contradicting facts overwrite older ones, and
+stale beliefs — slots whose value no longer matches the world — are the
+mechanism behind the paper's memory-inconsistency observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.core.types import Fact
+
+
+@dataclass
+class Beliefs:
+    """A mutable view of the agent's current knowledge."""
+
+    _slots: dict[tuple[str, str], Fact] = field(default_factory=dict)
+
+    @classmethod
+    def from_facts(cls, facts: Iterable[Fact]) -> "Beliefs":
+        beliefs = cls()
+        beliefs.update(facts)
+        return beliefs
+
+    def update(self, facts: Iterable[Fact]) -> int:
+        """Merge facts; *newer* facts win their slot.  Returns #novel facts.
+
+        A fact is novel if its slot was absent, or it carries a different
+        value with at-least-as-recent provenance — the counter implements
+        the paper's message-usefulness metric.  Older conflicting facts
+        (stale gossip from a teammate's outdated view) never overwrite
+        fresher knowledge.
+        """
+        novel = 0
+        for fact in facts:
+            key = fact.key()
+            existing = self._slots.get(key)
+            if existing is None:
+                novel += 1
+                self._slots[key] = fact
+            elif fact.step >= existing.step:
+                if existing.value != fact.value:
+                    novel += 1
+                self._slots[key] = fact
+        return novel
+
+    def value(self, subject: str, relation: str) -> str | None:
+        fact = self._slots.get((subject, relation))
+        return fact.value if fact is not None else None
+
+    def fact(self, subject: str, relation: str) -> Fact | None:
+        return self._slots.get((subject, relation))
+
+    def forget(self, subject: str, relation: str) -> bool:
+        """Drop a slot (reflection's belief repair).  True if it existed."""
+        return self._slots.pop((subject, relation), None) is not None
+
+    def facts(self) -> list[Fact]:
+        return list(self._slots.values())
+
+    def subjects(self) -> set[str]:
+        return {subject for subject, _relation in self._slots}
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._slots.values())
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._slots
+
+    def copy(self) -> "Beliefs":
+        return Beliefs(dict(self._slots))

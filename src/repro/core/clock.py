@@ -1,0 +1,151 @@
+"""Virtual time and per-module latency accounting.
+
+The paper profiles embodied systems by attributing wall-clock time to the
+six building-block modules (Fig. 2).  We reproduce that accounting on a
+*virtual* clock: every module advances the clock by its modeled latency and
+tags the span with ``(module, phase)``.  This makes latency measurements
+deterministic and host-independent while preserving the paper's breakdown
+structure exactly.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class ModuleName(enum.Enum):
+    """The six building blocks of the paper's taxonomy (Sec. II-A)."""
+
+    SENSING = "sensing"
+    PLANNING = "planning"
+    COMMUNICATION = "communication"
+    MEMORY = "memory"
+    REFLECTION = "reflection"
+    EXECUTION = "execution"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Canonical ordering used by reports, matching Fig. 2's legend order.
+MODULE_ORDER: tuple[ModuleName, ...] = (
+    ModuleName.SENSING,
+    ModuleName.PLANNING,
+    ModuleName.COMMUNICATION,
+    ModuleName.MEMORY,
+    ModuleName.REFLECTION,
+    ModuleName.EXECUTION,
+)
+
+#: Modules whose latency is dominated by LLM inference in typical systems.
+LLM_MODULES = frozenset(
+    {ModuleName.PLANNING, ModuleName.COMMUNICATION, ModuleName.REFLECTION}
+)
+
+
+@dataclass(frozen=True)
+class Span:
+    """A single attributed latency interval on the virtual clock."""
+
+    module: ModuleName
+    phase: str
+    start: float
+    duration: float
+    agent: str = ""
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class SimClock:
+    """Monotonic virtual clock with span attribution.
+
+    ``advance`` is the only way time moves; it returns the recorded span so
+    callers can log it.  ``parallel`` scopes a group of advances that are
+    semantically concurrent (e.g. per-agent local inference on separate
+    GPUs): within the scope the clock only moves by the *maximum* of the
+    grouped durations, but each span retains its full duration for
+    per-module accounting.
+    """
+
+    now: float = 0.0
+    spans: list[Span] = field(default_factory=list)
+    _parallel_depth: int = 0
+    _parallel_front: float = 0.0
+
+    def advance(
+        self,
+        duration: float,
+        module: ModuleName,
+        phase: str = "",
+        agent: str = "",
+    ) -> Span:
+        """Advance virtual time by ``duration`` seconds, attributed."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        span = Span(
+            module=module,
+            phase=phase,
+            start=self.now,
+            duration=duration,
+            agent=agent,
+        )
+        self.spans.append(span)
+        if self._parallel_depth > 0:
+            self._parallel_front = max(self._parallel_front, self.now + duration)
+        else:
+            self.now += duration
+        return span
+
+    def wait(self, duration: float) -> None:
+        """Advance time without attributing it to a module (idle/env time)."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        self.now += duration
+
+    def parallel(self) -> "_ParallelScope":
+        """Context manager grouping concurrent advances (max, not sum)."""
+        return _ParallelScope(self)
+
+    def elapsed_by_module(self) -> dict[ModuleName, float]:
+        """Total attributed duration per module (sums even parallel spans)."""
+        totals: dict[ModuleName, float] = defaultdict(float)
+        for span in self.spans:
+            totals[span.module] += span.duration
+        return dict(totals)
+
+    def elapsed_by_phase(self) -> dict[tuple[ModuleName, str], float]:
+        totals: dict[tuple[ModuleName, str], float] = defaultdict(float)
+        for span in self.spans:
+            totals[(span.module, span.phase)] += span.duration
+        return dict(totals)
+
+    def reset(self) -> None:
+        self.now = 0.0
+        self.spans.clear()
+        self._parallel_depth = 0
+        self._parallel_front = 0.0
+
+
+class _ParallelScope:
+    """Implements :meth:`SimClock.parallel`; supports nesting."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+
+    def __enter__(self) -> SimClock:
+        clock = self._clock
+        if clock._parallel_depth == 0:
+            clock._parallel_front = clock.now
+        clock._parallel_depth += 1
+        return clock
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        clock = self._clock
+        clock._parallel_depth -= 1
+        if clock._parallel_depth == 0:
+            clock.now = max(clock.now, clock._parallel_front)

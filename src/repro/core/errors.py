@@ -1,0 +1,89 @@
+"""Exception types and the fault taxonomy used across the simulator.
+
+The paper characterizes several qualitatively different ways in which an
+LLM-driven embodied agent goes wrong: suboptimal plans, infeasible actions,
+hallucinated objects, repeated/looping actions, and malformed (format
+non-compliant) outputs that force a retry.  ``FaultKind`` enumerates that
+taxonomy; the planning and reflection modules use it to drive error
+injection and error correction respectively.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A system/agent/module configuration is invalid or inconsistent."""
+
+
+class EnvironmentError_(ReproError):
+    """An environment was driven into (or asked for) an invalid state.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``EnvironmentError`` alias of :class:`OSError`.
+    """
+
+
+class PlanningError(ReproError):
+    """The planning module could not produce any plan at all."""
+
+
+class ExecutionFailure(ReproError):
+    """A low-level planner could not realize a primitive action sequence."""
+
+
+class UnknownWorkloadError(ReproError):
+    """Requested workload name is not present in the registry."""
+
+
+class UnknownModelError(ReproError):
+    """Requested LLM/perception model profile does not exist."""
+
+
+class FaultKind(enum.Enum):
+    """Taxonomy of decision faults injected by the simulated LLM.
+
+    Matches the failure modes the paper attributes to LLM-based modules:
+
+    - ``SUBOPTIMAL``: a feasible but inefficient choice (extra steps).
+    - ``INFEASIBLE``: an action whose preconditions do not hold.
+    - ``HALLUCINATION``: references an object/location that does not exist.
+    - ``REPEATED``: re-issues an action already known to have failed.
+    - ``FORMAT``: output not parseable; costs a retry round-trip.
+    - ``STALE_MEMORY``: acts on an outdated fact (memory inconsistency).
+    """
+
+    SUBOPTIMAL = "suboptimal"
+    INFEASIBLE = "infeasible"
+    HALLUCINATION = "hallucination"
+    REPEATED = "repeated"
+    FORMAT = "format"
+    STALE_MEMORY = "stale_memory"
+
+    @property
+    def wastes_step(self) -> bool:
+        """Whether this fault consumes an environment step when acted on.
+
+        Format faults are caught at parse time and only cost LLM latency;
+        every other fault produces an action that is executed (and fails or
+        wastes effort), consuming a step.
+        """
+        return self is not FaultKind.FORMAT
+
+
+#: Faults that a reflection module is able to detect after execution by
+#: comparing the pre- and post-states (format faults never reach execution).
+REFLECTABLE_FAULTS = frozenset(
+    {
+        FaultKind.SUBOPTIMAL,
+        FaultKind.INFEASIBLE,
+        FaultKind.HALLUCINATION,
+        FaultKind.REPEATED,
+        FaultKind.STALE_MEMORY,
+    }
+)

@@ -1,0 +1,215 @@
+"""Episode metrics: collection during the loop, aggregation across trials.
+
+The collector is the single sink for everything the paper measures:
+per-module latency spans (Fig. 2), step counts and success (Fig. 3),
+token series per agent/purpose (Fig. 6), message-usefulness counters
+(Sec. V-D), and fault/reflection counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock
+from repro.core.errors import FaultKind
+from repro.core.types import StepRecord
+
+
+@dataclass(frozen=True)
+class TokenSample:
+    """Prompt/output tokens of one LLM call, for Fig. 6 token-growth plots."""
+
+    step: int
+    agent: str
+    purpose: str  # "plan" | "message" | "action_selection" | "reflection"
+    prompt_tokens: int
+    output_tokens: int
+
+
+@dataclass
+class EpisodeResult:
+    """Everything measured in one episode."""
+
+    workload: str
+    success: bool
+    steps: int
+    horizon: int
+    sim_seconds: float
+    goal_progress: float
+    module_seconds: dict[ModuleName, float]
+    llm_calls: int
+    prompt_tokens: int
+    output_tokens: int
+    messages_sent: int
+    messages_useful: int
+    faults: dict[FaultKind, int]
+    reflections_triggered: int
+    replans: int
+    records: list[StepRecord]
+    token_samples: list[TokenSample]
+
+    @property
+    def sim_minutes(self) -> float:
+        return self.sim_seconds / 60.0
+
+    @property
+    def seconds_per_step(self) -> float:
+        return self.sim_seconds / max(1, self.steps)
+
+    @property
+    def llm_fraction(self) -> float:
+        """Fraction of latency spent in LLM-heavy modules (paper: 70.2 %)."""
+        total = sum(self.module_seconds.values())
+        if total <= 0.0:
+            return 0.0
+        llm = sum(self.module_seconds.get(module, 0.0) for module in LLM_MODULES)
+        return llm / total
+
+    @property
+    def message_usefulness(self) -> float:
+        """Fraction of sent messages that carried novel facts (~20 % in CoELA)."""
+        if self.messages_sent == 0:
+            return 0.0
+        return self.messages_useful / self.messages_sent
+
+    def module_breakdown(self) -> dict[ModuleName, float]:
+        """Per-module share of total attributed latency, normalized."""
+        total = sum(self.module_seconds.values())
+        if total <= 0.0:
+            return {module: 0.0 for module in MODULE_ORDER}
+        return {
+            module: self.module_seconds.get(module, 0.0) / total
+            for module in MODULE_ORDER
+        }
+
+
+@dataclass
+class MetricsCollector:
+    """Mutable sink used by modules during an episode."""
+
+    workload: str
+    horizon: int
+    records: list[StepRecord] = field(default_factory=list)
+    token_samples: list[TokenSample] = field(default_factory=list)
+    faults: Counter = field(default_factory=Counter)
+    llm_calls: int = 0
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    messages_sent: int = 0
+    messages_useful: int = 0
+    reflections_triggered: int = 0
+    replans: int = 0
+
+    def record_llm_call(
+        self, step: int, agent: str, purpose: str, prompt_tokens: int, output_tokens: int
+    ) -> None:
+        self.llm_calls += 1
+        self.prompt_tokens += prompt_tokens
+        self.output_tokens += output_tokens
+        self.token_samples.append(
+            TokenSample(
+                step=step,
+                agent=agent,
+                purpose=purpose,
+                prompt_tokens=prompt_tokens,
+                output_tokens=output_tokens,
+            )
+        )
+
+    def record_fault(self, fault: FaultKind | None) -> None:
+        if fault is not None:
+            self.faults[fault] += 1
+
+    def record_message(self, useful: bool) -> None:
+        self.messages_sent += 1
+        if useful:
+            self.messages_useful += 1
+
+    def record_step(self, record: StepRecord) -> None:
+        self.records.append(record)
+
+    def finalize(
+        self,
+        clock: SimClock,
+        success: bool,
+        steps: int,
+        goal_progress: float,
+    ) -> EpisodeResult:
+        return EpisodeResult(
+            workload=self.workload,
+            success=success,
+            steps=steps,
+            horizon=self.horizon,
+            sim_seconds=clock.now,
+            goal_progress=goal_progress,
+            module_seconds=clock.elapsed_by_module(),
+            llm_calls=self.llm_calls,
+            prompt_tokens=self.prompt_tokens,
+            output_tokens=self.output_tokens,
+            messages_sent=self.messages_sent,
+            messages_useful=self.messages_useful,
+            faults=dict(self.faults),
+            reflections_triggered=self.reflections_triggered,
+            replans=self.replans,
+            records=self.records,
+            token_samples=self.token_samples,
+        )
+
+
+@dataclass(frozen=True)
+class AggregateResult:
+    """Mean metrics over a set of trials of one experiment cell."""
+
+    workload: str
+    n_trials: int
+    success_rate: float
+    mean_steps: float
+    mean_sim_minutes: float
+    mean_seconds_per_step: float
+    module_seconds: dict[ModuleName, float]
+    mean_llm_calls: float
+    mean_prompt_tokens: float
+    llm_fraction: float
+    message_usefulness: float
+    mean_messages_sent: float
+    mean_goal_progress: float
+
+    def module_breakdown(self) -> dict[ModuleName, float]:
+        total = sum(self.module_seconds.values())
+        if total <= 0.0:
+            return {module: 0.0 for module in MODULE_ORDER}
+        return {
+            module: self.module_seconds.get(module, 0.0) / total
+            for module in MODULE_ORDER
+        }
+
+
+def aggregate(results: list[EpisodeResult]) -> AggregateResult:
+    """Average per-episode metrics into one experiment-cell summary."""
+    if not results:
+        raise ValueError("cannot aggregate zero episode results")
+    module_totals: dict[ModuleName, list[float]] = defaultdict(list)
+    for result in results:
+        for module in MODULE_ORDER:
+            module_totals[module].append(result.module_seconds.get(module, 0.0))
+    total_sent = sum(result.messages_sent for result in results)
+    total_useful = sum(result.messages_useful for result in results)
+    return AggregateResult(
+        workload=results[0].workload,
+        n_trials=len(results),
+        success_rate=mean(1.0 if result.success else 0.0 for result in results),
+        mean_steps=mean(result.steps for result in results),
+        mean_sim_minutes=mean(result.sim_minutes for result in results),
+        mean_seconds_per_step=mean(result.seconds_per_step for result in results),
+        module_seconds={
+            module: mean(values) for module, values in module_totals.items()
+        },
+        mean_llm_calls=mean(result.llm_calls for result in results),
+        mean_prompt_tokens=mean(result.prompt_tokens for result in results),
+        llm_fraction=mean(result.llm_fraction for result in results),
+        message_usefulness=(total_useful / total_sent) if total_sent else 0.0,
+        mean_messages_sent=mean(result.messages_sent for result in results),
+        mean_goal_progress=mean(result.goal_progress for result in results),
+    )

@@ -1,0 +1,22 @@
+"""The six building-block modules of the paper's taxonomy (Sec. II-A)."""
+
+from repro.core.modules.base import ModuleContext
+from repro.core.modules.communication import CommunicationModule
+from repro.core.modules.execution import ExecutionModule
+from repro.core.modules.memory import ActionRecord, MemoryModule, RetrievedMemory
+from repro.core.modules.planning import PlanningModule
+from repro.core.modules.reflection import ReflectionModule, ReflectionReport
+from repro.core.modules.sensing import SensingModule
+
+__all__ = [
+    "ActionRecord",
+    "CommunicationModule",
+    "ExecutionModule",
+    "MemoryModule",
+    "ModuleContext",
+    "PlanningModule",
+    "ReflectionModule",
+    "ReflectionReport",
+    "RetrievedMemory",
+    "SensingModule",
+]

@@ -1,0 +1,37 @@
+"""Shared module machinery: the per-agent execution context.
+
+Every module receives a :class:`ModuleContext` binding it to one agent's
+identity, the episode's virtual clock, the metrics sink, and a dedicated
+random substream.  Modules advance the clock themselves, tagged with
+their :class:`~repro.core.clock.ModuleName`, which is what produces the
+paper's per-module latency breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clock import SimClock
+from repro.core.metrics import MetricsCollector
+
+
+@dataclass
+class ModuleContext:
+    """Bundle of episode-scoped services handed to each module."""
+
+    agent: str
+    clock: SimClock
+    metrics: MetricsCollector
+    rng: np.random.Generator
+
+    @property
+    def step(self) -> int:
+        """Current macro step (mirrors the environment's counter)."""
+        return self._step
+
+    _step: int = 0
+
+    def set_step(self, step: int) -> None:
+        self._step = step

@@ -1,0 +1,148 @@
+"""Communication module: LLM-generated inter-agent messages.
+
+Message composition is an LLM generation call whose prompt includes the
+(growing) dialogue history — the token-accumulation mechanism of Fig. 6.
+Delivery merges the payload facts into receivers' memories and counts how
+many were *novel*; the resulting usefulness ratio is the quantity behind
+the paper's "only ~20 % of CoELA's messages contribute" observation.
+
+Optimizations hosted here:
+
+- ``plan_then_comm`` (Rec. 8): the caller only invokes :meth:`compose`
+  when the planner flagged communication as necessary.
+- ``comm_filter`` (Rec. 10): :meth:`compose` short-circuits (no LLM call)
+  when the sender has nothing new to share since its last message.
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import ModuleName
+from repro.core.modules.base import ModuleContext
+from repro.core.types import Fact, Message, Subgoal
+from repro.llm.prompt import COMMUNICATOR_SYSTEM_TEXT, PromptBuilder
+from repro.llm.simulated import SimulatedLLM
+
+#: How many recently-learned facts a message shares.
+MESSAGE_FACT_BUDGET = 4
+
+#: Relations worth telling teammates about: discoveries about the world.
+#: Self-state (rooms the sender visited, objects it delivered) is excluded
+#: — receivers observe outcomes themselves, and rebroadcasting own status
+#: is the redundant chatter the paper measures.
+SHARABLE_RELATIONS = frozenset({"located_in", "at_cell", "stage"})
+
+
+class CommunicationModule:
+    """Compose and deliver messages for one agent."""
+
+    def __init__(
+        self,
+        context: ModuleContext,
+        llm: SimulatedLLM,
+        filter_redundant: bool = False,
+    ) -> None:
+        self.context = context
+        self.llm = llm
+        self.filter_redundant = filter_redundant
+        self._last_shared: dict[tuple[str, str], str] = {}
+        self._last_intent_sent: Subgoal | None = None
+
+    # ------------------------------------------------------------------ #
+    # Composition
+    # ------------------------------------------------------------------ #
+
+    def sharable_facts(self, known_facts: list[Fact]) -> list[Fact]:
+        """Facts worth broadcasting, most recent first."""
+        candidates = [
+            fact for fact in known_facts if fact.relation in SHARABLE_RELATIONS
+        ]
+        candidates.sort(key=lambda fact: fact.step, reverse=True)
+        return candidates[:MESSAGE_FACT_BUDGET]
+
+    def _is_redundant(self, payload: list[Fact], intent: Subgoal | None) -> bool:
+        """True when the payload contains nothing the sender hasn't shared.
+
+        Intent refreshes alone do not justify a message — announcing a new
+        subgoal every step is precisely the redundant dialogue the paper
+        identifies; knowledge transfer is what makes a message useful.
+        """
+        del intent  # kept in the signature for custom filter subclasses
+        for fact in payload:
+            if self._last_shared.get(fact.key()) != fact.value:
+                return False
+        return True
+
+    def compose(
+        self,
+        step: int,
+        recipients: tuple[str, ...],
+        known_facts: list[Fact],
+        intent: Subgoal | None,
+        dialogue: list[Message],
+        force_filter: bool = False,
+    ) -> Message | None:
+        """Generate one message via the LLM; None if filtered out.
+
+        ``force_filter`` applies the redundancy gate regardless of the
+        module's configuration — used by the planning-then-communication
+        strategy (Rec. 8), where the planner only requests a message when
+        there is something to say.
+        """
+        payload = self.sharable_facts(known_facts)
+        if (self.filter_redundant or force_filter) and self._is_redundant(
+            payload, intent
+        ):
+            return None
+        prompt = (
+            PromptBuilder(COMMUNICATOR_SYSTEM_TEXT)
+            .memory(payload)
+            .dialogue(dialogue)
+            .extra(
+                "instruction",
+                "Compose a short update for your teammates about what you "
+                "found and what you plan to do next.",
+            )
+            .build()
+        )
+        generation = self.llm.generate(prompt, purpose="message")
+        self.context.clock.advance(
+            generation.latency,
+            ModuleName.COMMUNICATION,
+            phase="compose",
+            agent=self.context.agent,
+        )
+        self.context.metrics.record_llm_call(
+            step=step,
+            agent=self.context.agent,
+            purpose="message",
+            prompt_tokens=generation.prompt_tokens,
+            output_tokens=generation.output_tokens,
+        )
+        for fact in payload:
+            self._last_shared[fact.key()] = fact.value
+        self._last_intent_sent = intent
+        return Message(
+            sender=self.context.agent,
+            recipients=recipients,
+            step=step,
+            facts=tuple(payload),
+            intent=intent,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Delivery
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def intent_facts(message: Message) -> list[Fact]:
+        """Intent rendered as shareable facts ('box_3 targeted_by agent_1')."""
+        if message.intent is None or not message.intent.target:
+            return []
+        return [
+            Fact(
+                subject=message.intent.target,
+                relation="targeted_by",
+                value=message.sender,
+                step=message.step,
+            )
+        ]

@@ -1,0 +1,220 @@
+"""Memory module: observation, action, and dialogue stores.
+
+Implements the paper's three memory categories (Sec. II-A) with a
+step-count retention window — the capacity axis of Fig. 5:
+
+- retrieval latency grows linearly with the number of scanned entries,
+- beliefs are reconstructed newest-wins from retained observations,
+- very large stores suffer *confused recall*: occasionally an older value
+  wins a slot, reproducing the memory-inconsistency decline at high
+  capacity,
+- the ``dual`` option (Recommendation 5) keeps static facts in a long-term
+  store exempt from scanning and confusion, shrinking both latency and
+  inconsistency.
+
+The module also applies *negative evidence*: if the agent is at a location
+where memory says an object should be, but the current observation does
+not show it, the stale belief is dropped — the perception-level correction
+that keeps no-reflection agents from looping forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.beliefs import Beliefs
+from repro.core.clock import ModuleName
+from repro.core.modules.base import ModuleContext
+from repro.core.types import Fact, Message, Subgoal
+
+#: Retrieval latency model: fixed overhead + per-scanned-entry cost.
+RETRIEVE_BASE_SECONDS = 0.02
+RETRIEVE_PER_ENTRY_SECONDS = 0.0012
+STORE_SECONDS = 0.006
+
+#: Confused-recall model: when the retention window stretches past this
+#: many steps of history, a retrieval may resolve one belief slot to an
+#: outdated value (the paper's memory inconsistency at large capacities).
+CONFUSION_ONSET_STEPS = 40
+CONFUSION_PROB_PER_STEP = 0.035
+CONFUSION_PROB_CAP = 0.5
+
+
+@dataclass(frozen=True)
+class ActionRecord:
+    """One entry of action memory."""
+
+    step: int
+    subgoal: Subgoal
+    success: bool
+
+    def describe(self) -> str:
+        outcome = "succeeded" if self.success else "failed"
+        return f"at step {self.step} you chose to {self.subgoal.describe()} and it {outcome}"
+
+
+@dataclass(frozen=True)
+class RetrievedMemory:
+    """What one retrieval pass hands to the planner."""
+
+    facts: list[Fact]
+    action_records: list[ActionRecord]
+    dialogue: list[Message]
+    scanned_entries: int
+    confused: bool
+
+
+class MemoryModule:
+    """Windowed observation/action/dialogue memory with retrieval costs."""
+
+    def __init__(
+        self,
+        context: ModuleContext,
+        capacity_steps: int,
+        static_facts: list[Fact],
+        dual: bool = False,
+    ) -> None:
+        if capacity_steps < 1:
+            raise ValueError(f"capacity_steps must be >= 1: {capacity_steps}")
+        self.context = context
+        self.capacity_steps = capacity_steps
+        self.dual = dual
+        self._static = list(static_facts)
+        self._observations: list[Fact] = []
+        self._actions: list[ActionRecord] = []
+        self._dialogue: list[Message] = []
+        # Incremental slot index over _observations, used for O(payload)
+        # novelty checks on message ingestion.
+        self._slot_index = Beliefs()
+
+    # ------------------------------------------------------------------ #
+    # Stores
+    # ------------------------------------------------------------------ #
+
+    def store_observation(self, facts: tuple[Fact, ...]) -> None:
+        self._observations.extend(facts)
+        self._slot_index.update(facts)
+        self._charge(STORE_SECONDS, "store_observation")
+
+    def store_action(self, step: int, subgoal: Subgoal, success: bool) -> None:
+        self._actions.append(ActionRecord(step=step, subgoal=subgoal, success=success))
+        self._charge(STORE_SECONDS, "store_action")
+
+    def store_message(self, message: Message) -> int:
+        """Log a message into dialogue memory; returns #novel payload facts."""
+        novel = self._slot_index.update(message.facts)
+        self._dialogue.append(message)
+        self._observations.extend(message.facts)
+        self._charge(STORE_SECONDS, "store_dialogue")
+        return novel
+
+    # ------------------------------------------------------------------ #
+    # Retrieval
+    # ------------------------------------------------------------------ #
+
+    def _window_start(self, step: int) -> int:
+        return max(0, step - self.capacity_steps)
+
+    def retrieve(self, step: int) -> RetrievedMemory:
+        """Fetch everything within the retention window, with latency."""
+        start = self._window_start(step)
+        observations = [fact for fact in self._observations if fact.step >= start]
+        actions = [record for record in self._actions if record.step >= start]
+        dialogue = [message for message in self._dialogue if message.step >= start]
+        scanned = len(observations) + len(actions) + len(dialogue)
+        if not self.dual:
+            scanned += len(self._static)
+        latency = RETRIEVE_BASE_SECONDS + RETRIEVE_PER_ENTRY_SECONDS * scanned
+        self._charge(latency, "retrieve")
+
+        confused = False
+        window_steps = min(step, self.capacity_steps)
+        overflow = window_steps - CONFUSION_ONSET_STEPS
+        if overflow > 0 and not self.dual:
+            probability = min(CONFUSION_PROB_CAP, overflow * CONFUSION_PROB_PER_STEP)
+            confused = bool(self.context.rng.random() < probability)
+        facts = self._resolve_slots(observations, confused)
+        return RetrievedMemory(
+            facts=facts,
+            action_records=actions,
+            dialogue=dialogue,
+            scanned_entries=scanned,
+            confused=confused,
+        )
+
+    def _resolve_slots(self, observations: list[Fact], confused: bool) -> list[Fact]:
+        """Newest-wins slot resolution; confusion lets one old value win.
+
+        "Newest" means highest fact step, not append order: facts learned
+        via messages carry the sender's (possibly older) provenance and
+        must not shadow fresher first-hand observations.
+        """
+        history: dict[tuple[str, str], list[Fact]] = {}
+        for fact in observations:
+            history.setdefault(fact.key(), []).append(fact)
+        for entries in history.values():
+            entries.sort(key=lambda fact: fact.step)
+        resolved = {key: entries[-1] for key, entries in history.items()}
+        if confused:
+            contested = [
+                key
+                for key, entries in history.items()
+                if len({entry.value for entry in entries}) > 1
+            ]
+            if contested:
+                key = contested[int(self.context.rng.integers(len(contested)))]
+                resolved[key] = history[key][0]  # stale value wins
+        return sorted(resolved.values(), key=lambda fact: (fact.subject, fact.relation))
+
+    # ------------------------------------------------------------------ #
+    # Beliefs
+    # ------------------------------------------------------------------ #
+
+    def beliefs(
+        self,
+        step: int,
+        current_facts: tuple[Fact, ...],
+        position: str,
+        retrieved: RetrievedMemory | None = None,
+    ) -> Beliefs:
+        """Static + retrieved + current facts, with negative evidence."""
+        if retrieved is None:
+            retrieved = self.retrieve(step)
+        beliefs = Beliefs.from_facts(self._static)
+        beliefs.update(retrieved.facts)
+        beliefs.update(current_facts)
+        visible_subjects = {fact.subject for fact in current_facts}
+        for fact in list(beliefs):
+            if (
+                fact.relation == "located_in"
+                and fact.value == position
+                and fact.subject not in visible_subjects
+            ):
+                beliefs.forget(fact.subject, fact.relation)
+        return beliefs
+
+    def forget(self, subject: str, relation: str) -> None:
+        """Belief repair (reflection): drop all stored facts for a slot."""
+        self._observations = [
+            fact
+            for fact in self._observations
+            if not (fact.subject == subject and fact.relation == relation)
+        ]
+        self._slot_index.forget(subject, relation)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_entries(self) -> int:
+        return len(self._observations) + len(self._actions) + len(self._dialogue)
+
+    def dialogue_window(self, step: int) -> list[Message]:
+        start = self._window_start(step)
+        return [message for message in self._dialogue if message.step >= start]
+
+    def _charge(self, seconds: float, phase: str) -> None:
+        self.context.clock.advance(
+            seconds, ModuleName.MEMORY, phase=phase, agent=self.context.agent
+        )

@@ -1,0 +1,147 @@
+"""Episode scaffolding shared by all paradigm loops.
+
+A paradigm loop owns the environment, the clock, the metrics collector,
+and the per-agent module stacks; subclasses implement one macro step.
+The scaffold handles ticking, horizon enforcement, and result finalizing,
+so every paradigm measures success/steps/latency identically.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.agent import EmbodiedAgent, PerceptionBundle
+from repro.core.clock import SimClock
+from repro.core.config import SystemConfig
+from repro.core.errors import FaultKind
+from repro.core.metrics import EpisodeResult, MetricsCollector
+from repro.core.seeding import derive_seed, rng_for
+from repro.core.types import Decision, StepRecord, TaskSpec
+from repro.envs import make_env
+from repro.envs.base import ExecutionOutcome
+
+
+class ParadigmLoop(abc.ABC):
+    """Base class of the four (plus hybrid) paradigm drivers."""
+
+    def __init__(self, config: SystemConfig, task: TaskSpec, seed: int) -> None:
+        self.config = config
+        self.task = task
+        self.seed = seed
+        self.clock = SimClock()
+        self.metrics = MetricsCollector(workload=config.name, horizon=task.horizon)
+        self.env = make_env(task, rng_for(seed, "env", task.env_name))
+        agent_seed = derive_seed(seed, "agents")
+        self.agents: list[EmbodiedAgent] = [
+            EmbodiedAgent(
+                name=name,
+                config=config,
+                env=self.env,
+                clock=self.clock,
+                metrics=self.metrics,
+                seed=agent_seed,
+            )
+            for name in self.env.agents
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Episode driver
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> EpisodeResult:
+        steps = 0
+        for step in range(1, self.task.horizon + 1):
+            self.env.tick()
+            self.step(step)
+            steps = step
+            if self.env.is_success():
+                break
+        return self.metrics.finalize(
+            clock=self.clock,
+            success=self.env.is_success(),
+            steps=steps,
+            goal_progress=self.env.goal_progress(),
+        )
+
+    @abc.abstractmethod
+    def step(self, step: int) -> None:
+        """Execute one macro step for all agents."""
+
+    # ------------------------------------------------------------------ #
+    # Shared step fragments
+    # ------------------------------------------------------------------ #
+
+    def perceive_all(self, step: int) -> dict[str, PerceptionBundle]:
+        """Run every agent's perceive concurrently (per-robot compute)."""
+        bundles: dict[str, PerceptionBundle] = {}
+        with self.clock.parallel():
+            for agent in self.agents:
+                agent.begin_step(step)
+                bundles[agent.name] = agent.perceive(self.env)
+        return bundles
+
+    def execute_and_reflect(
+        self,
+        step: int,
+        agent: EmbodiedAgent,
+        bundle: PerceptionBundle,
+        decision: Decision,
+        allow_replan: bool = True,
+    ) -> ExecutionOutcome:
+        """Act, record, reflect, and optionally replan-once within the step."""
+        outcome = agent.act(self.env, decision)
+        record = StepRecord(
+            step=step,
+            agent=agent.name,
+            subgoal=decision.subgoal,
+            fault=decision.fault,
+            primitive_count=outcome.primitive_count,
+            execution_success=outcome.success,
+            prompt_tokens=decision.prompt_tokens,
+            output_tokens=decision.output_tokens,
+        )
+        report = agent.reflect(self.env, decision, outcome)
+        agent.state.note_outcome(
+            decision,
+            wasted=self.is_wasteful(decision, outcome),
+            corrected=report is not None and report.judged_failure,
+        )
+        if report is not None and report.judged_failure:
+            record.reflected = True
+            if allow_replan and report.should_replan:
+                record.replanned = True
+                self.metrics.replans += 1
+                bundle.beliefs.forget(report.forget_subject, report.forget_relation)
+                retry = agent.plan(
+                    self.env,
+                    bundle,
+                    extra_blacklist=frozenset({decision.subgoal}),
+                )
+                retry_outcome = agent.act(self.env, retry)
+                self.metrics.record_step(record)
+                self.metrics.record_step(
+                    StepRecord(
+                        step=step,
+                        agent=agent.name,
+                        subgoal=retry.subgoal,
+                        fault=retry.fault,
+                        primitive_count=retry_outcome.primitive_count,
+                        execution_success=retry_outcome.success,
+                        prompt_tokens=retry.prompt_tokens,
+                        output_tokens=retry.output_tokens,
+                    )
+                )
+                return retry_outcome
+        self.metrics.record_step(record)
+        return outcome
+
+    @staticmethod
+    def is_wasteful(decision: Decision, outcome: ExecutionOutcome) -> bool:
+        """A step that consumed time without advancing the task."""
+        if not outcome.success:
+            return True
+        return decision.fault is not None and outcome.progress_delta <= 0.0
+
+    @staticmethod
+    def fault_of(decision: Decision) -> FaultKind | None:
+        return decision.fault

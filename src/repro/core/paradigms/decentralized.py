@@ -1,0 +1,189 @@
+"""Decentralized multi-agent paradigm (paper Sec. II-E).
+
+Every agent runs its own full module stack.  A macro step is:
+
+1. concurrent per-agent perception,
+2. dialogue: one or more rounds of turn-taking message generation (each
+   an LLM call whose prompt includes the growing dialogue history — the
+   quadratic token/latency scaling of Fig. 7e-f),
+3. independent planning per agent (intent facts learned from teammates
+   discount already-claimed targets),
+4. concurrent execution, then per-agent reflection.
+
+CoELA's documented structure is reproduced: messages are pre-generated
+before planning every step, an extra action-selection LLM call follows
+planning, and message usefulness (novel-fact ratio) is measured so the
+"only ~20 % of messages contribute" analysis can be rerun.
+
+The ``plan_then_comm`` optimization (Rec. 8) flips phases 2 and 3 and
+composes messages only when the planner found something worth saying;
+``comm_filter`` (Rec. 10) suppresses redundant generations inside the
+communication module itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.agent import EmbodiedAgent, PerceptionBundle
+from repro.core.paradigms.base import ParadigmLoop
+from repro.core.types import Message
+
+
+def dialogue_rounds(n_agents: int) -> int:
+    """Negotiation rounds per step; grows with team size (Sec. VI)."""
+    return 1 + max(0, (n_agents - 2) // 4)
+
+
+class DecentralizedLoop(ParadigmLoop):
+    """Peer-to-peer cooperation with dialogue-based coordination."""
+
+    def step(self, step: int) -> None:
+        bundles = self.perceive_all(step)
+        if not self.config.optimizations.plan_then_comm:
+            self._dialogue_phase(step, bundles)
+        if self.config.optimizations.batching and self._can_batch():
+            decisions = self._batched_planning(step, bundles)
+        else:
+            decisions = {}
+            for agent in self.agents:
+                decisions[agent.name] = agent.plan(self.env, bundles[agent.name])
+                if self.config.action_selection_llm:
+                    self._action_selection_call(step, agent, decisions[agent.name])
+        if self.config.optimizations.plan_then_comm:
+            self._dialogue_phase(step, bundles, post_plan=True)
+        for agent in self.agents:
+            self.execute_and_reflect(
+                step, agent, bundles[agent.name], decisions[agent.name]
+            )
+
+    # ------------------------------------------------------------------ #
+    # Batched planning (Recommendation 1)
+    # ------------------------------------------------------------------ #
+
+    def _can_batch(self) -> bool:
+        """Batching needs the planners co-located on one local server."""
+        return all(
+            agent.planner_llm.profile.deployment == "local" for agent in self.agents
+        )
+
+    def _batched_planning(
+        self, step: int, bundles: dict[str, PerceptionBundle]
+    ) -> dict:
+        """Aggregate every agent's planning request into one batch call."""
+        from repro.core.clock import ModuleName
+        from repro.llm.behavior import DecisionRequest
+
+        requests, prompts = [], []
+        for agent in self.agents:
+            bundle = bundles[agent.name]
+            candidates = self.env.candidates(agent.name, bundle.beliefs)
+            prompts.append(
+                agent.planner.build_prompt(
+                    observation=bundle.observation,
+                    memory_facts=bundle.memory_facts,
+                    action_records=bundle.action_records,
+                    dialogue=bundle.dialogue,
+                    candidates=candidates,
+                )
+            )
+            requests.append(
+                DecisionRequest(
+                    candidates=candidates,
+                    difficulty=self.env.task.difficulty,
+                    blacklist=agent.state.blacklisted(step),
+                )
+            )
+        server = self.agents[0].planner_llm
+        batch = server.batched_decide(requests, prompts)
+        self.clock.advance(
+            batch[0].latency, ModuleName.PLANNING, phase="batched_plan", agent="batch"
+        )
+        decisions = {}
+        for agent, decision, prompt in zip(self.agents, batch, prompts):
+            self.metrics.record_llm_call(
+                step=step,
+                agent=agent.name,
+                purpose="plan",
+                prompt_tokens=prompt.tokens,
+                output_tokens=decision.output_tokens,
+            )
+            self.metrics.record_fault(decision.fault)
+            agent.state.last_intent = decision.subgoal
+            decisions[agent.name] = decision
+        return decisions
+
+    # ------------------------------------------------------------------ #
+    # Dialogue
+    # ------------------------------------------------------------------ #
+
+    def _dialogue_phase(
+        self,
+        step: int,
+        bundles: dict[str, PerceptionBundle],
+        post_plan: bool = False,
+    ) -> None:
+        rounds = 1 if post_plan else dialogue_rounds(len(self.agents))
+        for _round in range(rounds):
+            for agent in self.agents:
+                if agent.comm is None:
+                    continue
+                bundle = bundles[agent.name]
+                known = list(bundle.current_facts) + bundle.memory_facts
+                message = agent.comm.compose(
+                    step=step,
+                    recipients=tuple(
+                        other.name for other in self.agents if other is not agent
+                    ),
+                    known_facts=known,
+                    intent=agent.state.last_intent,
+                    dialogue=bundle.dialogue,
+                    # Rec. 8: after planning, only speak when there is news.
+                    force_filter=post_plan,
+                )
+                if message is None:
+                    continue
+                self._deliver(message, bundles, sender=agent)
+
+    def _deliver(
+        self,
+        message: Message,
+        bundles: dict[str, PerceptionBundle],
+        sender: EmbodiedAgent,
+    ) -> None:
+        novel_total = 0
+        for receiver in self.agents:
+            if receiver is sender:
+                continue
+            novel_total += receiver.receive_message(message, bundles[receiver.name])
+        self.metrics.record_message(useful=novel_total > 0)
+
+    # ------------------------------------------------------------------ #
+    # CoELA's extra action-selection stage
+    # ------------------------------------------------------------------ #
+
+    def _action_selection_call(self, step: int, agent: EmbodiedAgent, decision) -> None:
+        from repro.core.clock import ModuleName
+        from repro.llm.prompt import PromptBuilder
+
+        prompt = (
+            PromptBuilder()
+            .extra(
+                "instruction",
+                "Select the concrete low level action realizing "
+                f"{decision.subgoal.describe()} from the valid action list.",
+            )
+            .build()
+        )
+        generation = agent.planner_llm.generate(prompt, purpose="action_selection")
+        self.clock.advance(
+            generation.latency,
+            ModuleName.PLANNING,
+            phase="action_selection",
+            agent=agent.name,
+        )
+        self.metrics.record_llm_call(
+            step=step,
+            agent=agent.name,
+            purpose="action_selection",
+            prompt_tokens=generation.prompt_tokens,
+            output_tokens=generation.output_tokens,
+        )

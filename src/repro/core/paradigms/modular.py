@@ -1,0 +1,52 @@
+"""Single-agent modularized paradigm (paper Sec. II-B).
+
+The sense → retrieve → plan → execute → reflect pipeline of JARVIS-1,
+DaDu-E, MP5, DEPS, and EmbodiedGPT.  Systems with an action-selection LLM
+stage pay that extra call per step (CoELA-style; none of the single-agent
+suite members use it, but the flag is honoured for custom systems).
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import ModuleName
+from repro.core.paradigms.base import ParadigmLoop
+from repro.llm.prompt import PromptBuilder
+
+
+class ModularLoop(ParadigmLoop):
+    """One agent, full modular pipeline."""
+
+    def step(self, step: int) -> None:
+        agent = self.agents[0]
+        agent.begin_step(step)
+        bundle = agent.perceive(self.env)
+        decision = agent.plan(self.env, bundle)
+        if self.config.action_selection_llm:
+            self._action_selection_call(step, agent, decision)
+        self.execute_and_reflect(step, agent, bundle, decision)
+
+    def _action_selection_call(self, step: int, agent, decision) -> None:
+        """The extra low-level action-selection LLM pass some systems run."""
+        prompt = (
+            PromptBuilder()
+            .extra(
+                "instruction",
+                "Select the concrete action realizing the plan step "
+                f"{decision.subgoal.describe()} from the valid action list.",
+            )
+            .build()
+        )
+        generation = agent.planner_llm.generate(prompt, purpose="action_selection")
+        self.clock.advance(
+            generation.latency,
+            ModuleName.PLANNING,
+            phase="action_selection",
+            agent=agent.name,
+        )
+        self.metrics.record_llm_call(
+            step=step,
+            agent=agent.name,
+            purpose="action_selection",
+            prompt_tokens=generation.prompt_tokens,
+            output_tokens=generation.output_tokens,
+        )

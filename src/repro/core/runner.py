@@ -1,0 +1,85 @@
+"""Episode and trial runners: the library's main entry points.
+
+``run_episode`` executes one seeded episode of a configured system;
+``run_trials`` repeats it across independent seeds and aggregates —
+the unit of measurement for every figure in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import AggregateResult, EpisodeResult, aggregate
+from repro.core.paradigms import PARADIGM_LOOPS, ParadigmLoop
+from repro.core.seeding import spawn_trial_seeds
+from repro.core.types import TaskSpec
+from repro.envs.tasks import make_task
+
+
+def build_task(
+    config: SystemConfig,
+    difficulty: str = "medium",
+    n_agents: int | None = None,
+    seed: int = 0,
+    horizon: int | None = None,
+) -> TaskSpec:
+    """Default task for a system config (its env + declared team size)."""
+    return make_task(
+        config.env_name,
+        difficulty=difficulty,
+        n_agents=n_agents if n_agents is not None else config.default_agents,
+        seed=seed,
+        horizon=horizon,
+        **config.env_params,
+    )
+
+
+def build_loop(config: SystemConfig, task: TaskSpec, seed: int = 0) -> ParadigmLoop:
+    """Instantiate the paradigm loop, honouring the hierarchy override.
+
+    A multi-agent config with ``hierarchy_cluster_size`` set runs under
+    the clustered cooperative loop (Recommendation 9) regardless of its
+    base paradigm.
+    """
+    if config.is_multi_agent and config.optimizations.hierarchy_cluster_size > 0:
+        from repro.optim.hierarchy import HierarchicalLoop
+
+        return HierarchicalLoop(config, task, seed)
+    loop_cls = PARADIGM_LOOPS[config.paradigm]
+    return loop_cls(config, task, seed)
+
+
+def run_episode(
+    config: SystemConfig,
+    task: TaskSpec | None = None,
+    seed: int = 0,
+    difficulty: str = "medium",
+    n_agents: int | None = None,
+) -> EpisodeResult:
+    """Run one seeded episode and return its metrics."""
+    if task is None:
+        task = build_task(config, difficulty=difficulty, n_agents=n_agents, seed=seed)
+    return build_loop(config, task, seed).run()
+
+
+def run_trials(
+    config: SystemConfig,
+    n_trials: int = 8,
+    difficulty: str = "medium",
+    n_agents: int | None = None,
+    base_seed: int = 0,
+    horizon: int | None = None,
+) -> AggregateResult:
+    """Run ``n_trials`` independent episodes and aggregate the metrics."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1: {n_trials}")
+    results = []
+    for trial_seed in spawn_trial_seeds(base_seed, n_trials):
+        task = build_task(
+            config,
+            difficulty=difficulty,
+            n_agents=n_agents,
+            seed=trial_seed,
+            horizon=horizon,
+        )
+        results.append(build_loop(config, task, trial_seed).run())
+    return aggregate(results)

@@ -1,0 +1,47 @@
+"""Deterministic random-number management.
+
+Every stochastic decision in the simulator flows from a
+:class:`numpy.random.Generator` owned by the episode.  Sub-streams are
+derived by hashing a parent seed with a string label so that adding a new
+consumer of randomness does not perturb existing streams (a common source
+of irreproducibility in simulation codebases).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(base_seed: int, *labels: str | int) -> int:
+    """Derive a child seed from ``base_seed`` and a label path.
+
+    The derivation is stable across processes and Python versions (it uses
+    SHA-256 rather than ``hash()``, which is salted per-process).
+
+    >>> derive_seed(0, "llm") == derive_seed(0, "llm")
+    True
+    >>> derive_seed(0, "llm") != derive_seed(0, "env")
+    True
+    """
+    hasher = hashlib.sha256()
+    hasher.update(str(int(base_seed)).encode())
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode())
+    return int.from_bytes(hasher.digest()[:8], "little") & _MASK64
+
+
+def rng_for(base_seed: int, *labels: str | int) -> np.random.Generator:
+    """Return a fresh generator for the sub-stream named by ``labels``."""
+    return np.random.default_rng(derive_seed(base_seed, *labels))
+
+
+def spawn_trial_seeds(base_seed: int, n_trials: int) -> list[int]:
+    """Seeds for ``n_trials`` independent trials of one experiment cell."""
+    if n_trials < 0:
+        raise ValueError(f"n_trials must be non-negative, got {n_trials}")
+    return [derive_seed(base_seed, "trial", i) for i in range(n_trials)]

@@ -1,0 +1,223 @@
+"""Core value types shared by environments, modules, and paradigms.
+
+The vocabulary follows the paper's Sec. II: environments expose
+*observations* made of symbolic *facts*; planning produces high-level
+*subgoals*; execution lowers subgoals into primitive *actions*;
+communication exchanges *messages*.  Everything is a small, explicit
+dataclass so that prompt rendering, memory storage, and metrics can treat
+them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import FaultKind
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A symbolic triple describing one aspect of the world.
+
+    Examples: ``Fact("mug_3", "located_at", "kitchen_table")``,
+    ``Fact("agent_0", "holding", "mug_3")``.  ``step`` records the macro
+    step at which the fact was learned, which memory modules use for
+    recency-window retention and staleness detection.
+    """
+
+    subject: str
+    relation: str
+    value: str
+    step: int = 0
+
+    def describe(self) -> str:
+        """Render the fact as an English clause for prompt construction."""
+        relation_text = self.relation.replace("_", " ")
+        return f"{self.subject} {relation_text} {self.value}"
+
+    def key(self) -> tuple[str, str]:
+        """Identity of the *slot* this fact fills (subject, relation).
+
+        Two facts with the same key but different values contradict each
+        other; memory keeps the most recent one.
+        """
+        return (self.subject, self.relation)
+
+
+@dataclass(frozen=True)
+class Action:
+    """A primitive action executable by the environment in one micro-step."""
+
+    verb: str
+    agent: str
+    target: str = ""
+    destination: str = ""
+
+    def describe(self) -> str:
+        parts = [self.verb]
+        if self.target:
+            parts.append(self.target)
+        if self.destination:
+            parts.append(f"to {self.destination}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ActionResult:
+    """Outcome of applying one primitive action."""
+
+    action: Action
+    success: bool
+    duration: float
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class Subgoal:
+    """A high-level plan step produced by the planning module.
+
+    ``name`` is the operator (e.g. ``"fetch"``, ``"craft"``, ``"cook"``),
+    ``target`` the object/recipe it applies to, and ``destination`` an
+    optional location/container.
+    """
+
+    name: str
+    target: str = ""
+    destination: str = ""
+
+    def describe(self) -> str:
+        parts = [self.name.replace("_", " ")]
+        if self.target:
+            parts.append(self.target)
+        if self.destination:
+            parts.append(f"at {self.destination}")
+        return " ".join(parts)
+
+
+#: Sentinel subgoal meaning "nothing useful to do this step".
+IDLE = Subgoal(name="idle")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A subgoal option offered to the simulated LLM for selection.
+
+    ``utility`` is the ground-truth progress value of the option (used by
+    the behaviour kernel to rank choices; the agent never sees it).
+    ``feasible`` marks whether preconditions currently hold.  ``fault``
+    tags candidates that exist only as error-injection targets, e.g. a
+    hallucinated object.
+    """
+
+    subgoal: Subgoal
+    utility: float
+    feasible: bool = True
+    fault: FaultKind | None = None
+
+
+@dataclass(frozen=True)
+class Observation:
+    """An agent's partial view of the environment at one macro step."""
+
+    agent: str
+    step: int
+    position: str
+    facts: tuple[Fact, ...]
+    visible_agents: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        lines = [f"{self.agent} is at {self.position}."]
+        lines.extend(fact.describe() + "." for fact in self.facts)
+        return " ".join(lines)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An inter-agent message in a multi-agent system.
+
+    ``facts`` is the sharable knowledge payload; ``intent`` the sender's
+    declared next subgoal.  ``novel_facts`` is filled in on delivery with
+    the number of payload facts the receiver did not already know — the
+    paper's measure of message usefulness (Sec. V-D: only ~20 % of CoELA's
+    messages contribute).
+    """
+
+    sender: str
+    recipients: tuple[str, ...]
+    step: int
+    facts: tuple[Fact, ...] = ()
+    intent: Subgoal | None = None
+    text: str = ""
+    novel_facts: int = 0
+
+    def describe(self) -> str:
+        if self.text:
+            return self.text
+        parts = [f"{self.sender} says:"]
+        if self.intent is not None:
+            parts.append(f"I will {self.intent.describe()}.")
+        parts.extend(fact.describe() + "." for fact in self.facts)
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of one simulated-LLM decision call."""
+
+    subgoal: Subgoal
+    fault: FaultKind | None
+    prompt_tokens: int
+    output_tokens: int
+    latency: float
+    retries: int = 0
+
+    @property
+    def is_faulty(self) -> bool:
+        return self.fault is not None
+
+
+@dataclass
+class StepRecord:
+    """Metrics captured for one macro step of one agent."""
+
+    step: int
+    agent: str
+    subgoal: Subgoal
+    fault: FaultKind | None = None
+    reflected: bool = False
+    replanned: bool = False
+    primitive_count: int = 0
+    execution_success: bool = True
+    prompt_tokens: int = 0
+    output_tokens: int = 0
+    messages_sent: int = 0
+    messages_useful: int = 0
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """A concrete task instance handed to an environment factory.
+
+    ``difficulty`` is one of ``"easy" | "medium" | "hard"`` and controls
+    the number of objectives / dependency depth.  ``horizon`` is the macro
+    step limit (the paper's L_max).
+    """
+
+    env_name: str
+    difficulty: str = "medium"
+    n_agents: int = 1
+    horizon: int = 120
+    seed: int = 0
+    params: dict[str, Any] = field(default_factory=dict)
+
+
+DIFFICULTIES: tuple[str, ...] = ("easy", "medium", "hard")
+
+
+def validate_difficulty(difficulty: str) -> str:
+    if difficulty not in DIFFICULTIES:
+        raise ValueError(
+            f"difficulty must be one of {DIFFICULTIES}, got {difficulty!r}"
+        )
+    return difficulty

@@ -1,0 +1,200 @@
+"""Abstract environment interface for all task substrates.
+
+Every environment family (household, transport, cuisine, boxworld,
+mineworld, kitchen, tabletop) implements this contract.  Key design points:
+
+- **Partial observability**: ``visible_facts(agent)`` returns only what the
+  agent could perceive from its current position; perception noise is
+  applied on top by the sensing module.
+- **Belief-conditioned affordances**: ``candidates(agent, beliefs)``
+  enumerates subgoal options against the agent's *beliefs* (not ground
+  truth), so missing memory manifests as exploration candidates and stale
+  memory as doomed-but-plausible options.
+- **Grounded execution**: ``execute(agent, subgoal, rng)`` runs real
+  low-level planning (A*/RRT/action-list/grasp), mutates the world, and
+  reports primitive counts, compute cost, and actuation time so the
+  latency ledger matches the paper's execution-module accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.beliefs import Beliefs
+from repro.core.types import Candidate, Fact, Observation, Subgoal, TaskSpec
+from repro.planners.costmodel import ComputeCost, ZERO_COST
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of lowering + executing one subgoal in the world."""
+
+    success: bool
+    primitive_count: int
+    compute: ComputeCost
+    actuation_seconds: float
+    reason: str = ""
+    progress_delta: float = 0.0
+
+    @classmethod
+    def failure(cls, reason: str, actuation_seconds: float = 0.0) -> "ExecutionOutcome":
+        return cls(
+            success=False,
+            primitive_count=0,
+            compute=ZERO_COST,
+            actuation_seconds=actuation_seconds,
+            reason=reason,
+        )
+
+
+@dataclass
+class EnvState:
+    """Bookkeeping shared by all environments."""
+
+    step_index: int = 0
+    claims: dict[str, object] = field(default_factory=dict)  # resource -> holder(s)
+
+
+class Environment(abc.ABC):
+    """Base class for task environments.
+
+    Subclasses populate ``agents`` and goal structures in ``__init__`` from
+    the :class:`~repro.core.types.TaskSpec` and a seeded generator, and
+    implement the abstract affordance/execution hooks.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self, task: TaskSpec, rng: np.random.Generator) -> None:
+        self.task = task
+        self.rng = rng
+        self.agents: list[str] = [f"agent_{i}" for i in range(task.n_agents)]
+        self.state = EnvState()
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+
+    def tick(self) -> None:
+        """Advance environment dynamics by one macro step.
+
+        Called once per macro step before agents act; also clears
+        per-step resource claims used for conflict detection.
+        """
+        self.state.step_index += 1
+        self.state.claims.clear()
+
+    def claim(self, resource: str, agent: str) -> bool:
+        """Claim a contended resource for this macro step.
+
+        Returns False when another agent already holds it — the standard
+        way simultaneous object/station grabs turn into wasted steps.
+        """
+        holder = self.state.claims.setdefault(resource, agent)
+        return holder == agent
+
+    def claim_slot(self, resource: str, agent: str, capacity: int) -> bool:
+        """Claim one of ``capacity`` slots on a shared resource.
+
+        Models physical congestion: a room or station only fits so many
+        robots per step, so large teams start blocking each other — the
+        crowding component of the paper's scalability decline (Sec. VI).
+        """
+        key = f"slots:{resource}"
+        holders = self.state.claims.setdefault(key, [])  # type: ignore[assignment]
+        if agent in holders:
+            return True
+        if len(holders) >= capacity:
+            return False
+        holders.append(agent)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def visible_facts(self, agent: str) -> list[Fact]:
+        """Ground-truth facts perceivable from the agent's position."""
+
+    @abc.abstractmethod
+    def agent_position(self, agent: str) -> str:
+        """Human-readable position label for prompts."""
+
+    def observation(self, agent: str, facts: tuple[Fact, ...]) -> Observation:
+        """Wrap (already noise-filtered) facts into an observation."""
+        visible_agents = tuple(
+            other
+            for other in self.agents
+            if other != agent and self.agent_position(other) == self.agent_position(agent)
+        )
+        return Observation(
+            agent=agent,
+            step=self.state.step_index,
+            position=self.agent_position(agent),
+            facts=facts,
+            visible_agents=visible_agents,
+        )
+
+    def location_vocabulary(self) -> list[str]:
+        """Plausible location labels, used as mislabel distractors."""
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Affordances and execution
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def candidates(self, agent: str, beliefs: Beliefs) -> list[Candidate]:
+        """Enumerate subgoal options given the agent's beliefs.
+
+        Implementations should include (a) productive options with
+        ground-truth utilities, (b) an explore/idle fallback, and (c) a
+        few infeasible/hallucinated options as fault-injection targets.
+        """
+
+    @abc.abstractmethod
+    def execute(
+        self, agent: str, subgoal: Subgoal, rng: np.random.Generator
+    ) -> ExecutionOutcome:
+        """Lower ``subgoal`` to primitives, run them, mutate the world."""
+
+    @abc.abstractmethod
+    def expected_primitives(self, agent: str, subgoal: Subgoal) -> int:
+        """Primitive count the subgoal would need (for no-exec ablation)."""
+
+    # ------------------------------------------------------------------ #
+    # Goals
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def goal_progress(self) -> float:
+        """Fraction of the task completed, in [0, 1]."""
+
+    def is_success(self) -> bool:
+        return self.goal_progress() >= 1.0 - 1e-9
+
+    @abc.abstractmethod
+    def describe_task(self) -> str:
+        """Natural-language task description for prompt construction."""
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def hallucination_candidates(self, count: int = 2) -> list[Candidate]:
+        """Standard fault-injection candidates naming non-existent objects."""
+        from repro.core.errors import FaultKind
+
+        return [
+            Candidate(
+                subgoal=Subgoal(name="fetch", target=f"imaginary_object_{index}"),
+                utility=0.0,
+                feasible=False,
+                fault=FaultKind.HALLUCINATION,
+            )
+            for index in range(count)
+        ]

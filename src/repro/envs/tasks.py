@@ -1,0 +1,58 @@
+"""Task construction helpers: default horizons and TaskSpec factories.
+
+The horizon is the paper's L_max — the macro-step budget after which an
+episode counts as failed.  Defaults are sized so that a healthy system
+finishes with margin while ablated systems (no memory / no reflection /
+no execution) visibly saturate, matching the dynamic range of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.types import TaskSpec, validate_difficulty
+
+#: Default L_max per (environment, difficulty).
+DEFAULT_HORIZONS: dict[str, dict[str, int]] = {
+    "household": {"easy": 40, "medium": 55, "hard": 48},
+    "transport": {"easy": 35, "medium": 42, "hard": 40},
+    "cuisine": {"easy": 38, "medium": 58, "hard": 80},
+    "boxworld": {"easy": 32, "medium": 48, "hard": 45},
+    "mineworld": {"easy": 50, "medium": 72, "hard": 70},
+    "kitchen": {"easy": 20, "medium": 38, "hard": 60},
+    "tabletop": {"easy": 26, "medium": 36, "hard": 34},
+}
+
+
+def default_horizon(env_name: str, difficulty: str) -> int:
+    try:
+        return DEFAULT_HORIZONS[env_name][validate_difficulty(difficulty)]
+    except KeyError:
+        raise KeyError(f"no default horizon for environment {env_name!r}") from None
+
+
+def make_task(
+    env_name: str,
+    difficulty: str = "medium",
+    n_agents: int = 1,
+    seed: int = 0,
+    horizon: int | None = None,
+    **params: Any,
+) -> TaskSpec:
+    """Build a :class:`TaskSpec` with sensible defaults.
+
+    >>> task = make_task("household", "easy", seed=7)
+    >>> task.horizon
+    45
+    """
+    validate_difficulty(difficulty)
+    if n_agents < 1:
+        raise ValueError(f"n_agents must be >= 1: {n_agents}")
+    return TaskSpec(
+        env_name=env_name,
+        difficulty=difficulty,
+        n_agents=n_agents,
+        horizon=horizon if horizon is not None else default_horizon(env_name, difficulty),
+        seed=seed,
+        params=dict(params),
+    )

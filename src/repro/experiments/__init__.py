@@ -1,0 +1,25 @@
+"""Per-figure/table experiment harnesses (see DESIGN.md's experiment index)."""
+
+from repro.experiments import (
+    ablations,
+    fig2_latency,
+    fig3_sensitivity,
+    fig4_local_models,
+    fig5_memory,
+    fig6_tokens,
+    fig7_scalability,
+)
+from repro.experiments.common import ExperimentSettings, measure, trials_from_env
+
+__all__ = [
+    "ExperimentSettings",
+    "ablations",
+    "fig2_latency",
+    "fig3_sensitivity",
+    "fig4_local_models",
+    "fig5_memory",
+    "fig6_tokens",
+    "fig7_scalability",
+    "measure",
+    "trials_from_env",
+]

@@ -1,0 +1,58 @@
+"""Shared experiment infrastructure: trial settings and sweep helpers.
+
+Experiments read their trial count from the ``REPRO_TRIALS`` environment
+variable (default 5) so benchmark runs can trade precision for speed
+without code changes (``REPRO_TRIALS=2 pytest benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.core.config import SystemConfig
+from repro.core.metrics import AggregateResult
+from repro.core.runner import run_trials
+
+DEFAULT_TRIALS = 5
+
+
+def trials_from_env(default: int = DEFAULT_TRIALS) -> int:
+    """Trial count override from ``REPRO_TRIALS`` (>=1)."""
+    raw = os.environ.get("REPRO_TRIALS", "")
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"REPRO_TRIALS must be an integer, got {raw!r}") from None
+    if value < 1:
+        raise ValueError(f"REPRO_TRIALS must be >= 1, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by all figure experiments."""
+
+    n_trials: int = field(default_factory=trials_from_env)
+    base_seed: int = 2025
+    difficulty: str = "medium"
+
+
+def measure(
+    config: SystemConfig,
+    settings: ExperimentSettings,
+    difficulty: str | None = None,
+    n_agents: int | None = None,
+    horizon: int | None = None,
+) -> AggregateResult:
+    """One experiment cell: ``n_trials`` aggregated episodes."""
+    return run_trials(
+        config,
+        n_trials=settings.n_trials,
+        difficulty=difficulty or settings.difficulty,
+        n_agents=n_agents,
+        base_seed=settings.base_seed,
+        horizon=horizon,
+    )

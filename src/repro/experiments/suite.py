@@ -1,0 +1,57 @@
+"""Run every table/figure experiment and print the full report.
+
+Usage::
+
+    python -m repro.experiments.suite            # full report
+    REPRO_TRIALS=2 python -m repro.experiments.suite   # quick pass
+
+The output of this module is the source for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.tables import render_table1, render_table2
+from repro.experiments import (
+    ablations,
+    fig2_latency,
+    fig3_sensitivity,
+    fig4_local_models,
+    fig5_memory,
+    fig6_tokens,
+    fig7_scalability,
+)
+from repro.experiments.common import ExperimentSettings
+
+_SECTIONS = (
+    ("Table I", lambda s: render_table1()),
+    ("Table II", lambda s: render_table2()),
+    ("Figure 2", lambda s: fig2_latency.render(fig2_latency.run(s))),
+    ("Figure 3", lambda s: fig3_sensitivity.render(fig3_sensitivity.run(s))),
+    ("Figure 4", lambda s: fig4_local_models.render(fig4_local_models.run(s))),
+    ("Figure 5", lambda s: fig5_memory.render(fig5_memory.run(s))),
+    ("Figure 6", lambda s: fig6_tokens.render(fig6_tokens.run(s))),
+    ("Figure 7", lambda s: fig7_scalability.render(fig7_scalability.run(s))),
+    ("Ablations", lambda s: ablations.render(ablations.run(s))),
+)
+
+
+def run_all(settings: ExperimentSettings | None = None) -> str:
+    settings = settings or ExperimentSettings()
+    blocks = []
+    for title, runner in _SECTIONS:
+        started = time.perf_counter()
+        body = runner(settings)
+        elapsed = time.perf_counter() - started
+        rule = "=" * 72
+        blocks.append(f"{rule}\n{title}  (generated in {elapsed:.1f}s wall)\n{rule}\n{body}")
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    print(run_all())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Simulated LLM substrate: profiles, prompts, behaviour, deployment."""
+
+from repro.llm.behavior import BehaviorKernel, DecisionRequest
+from repro.llm.deployment import DeploymentOptions
+from repro.llm.profiles import LLMProfile, get_profile, list_profiles
+from repro.llm.prompt import Prompt, PromptBuilder
+from repro.llm.simulated import OUTPUT_TOKENS, GenerationResult, SimulatedLLM
+from repro.llm.tokenizer import count_tokens
+
+__all__ = [
+    "BehaviorKernel",
+    "DecisionRequest",
+    "DeploymentOptions",
+    "GenerationResult",
+    "LLMProfile",
+    "OUTPUT_TOKENS",
+    "Prompt",
+    "PromptBuilder",
+    "SimulatedLLM",
+    "count_tokens",
+    "get_profile",
+    "list_profiles",
+]

@@ -1,0 +1,242 @@
+"""The decision-quality kernel of the simulated LLM.
+
+This module is the behavioural core of the substitution described in
+DESIGN.md: instead of sampling text from a transformer, a decision call
+selects among enumerated :class:`~repro.core.types.Candidate` subgoals.
+The probability of a *correct* selection composes the factors the paper
+identifies empirically:
+
+``p_correct = reasoning × context_focus(prompt_tokens)
+            × coordination^(n_joint − 1) × difficulty_factor``
+
+- ``reasoning`` is the model's base capability (GPT-4 ≫ Llama-3-8B; Fig. 4),
+- ``context_focus`` decays with prompt length (token dilution; Fig. 6 and
+  the memory-inconsistency decline in Fig. 5),
+- the ``coordination`` penalty compounds per jointly-planned agent (the
+  centralized planner collapse in Fig. 7a),
+- ``difficulty_factor`` makes hard tasks harder per decision.
+
+On an incorrect selection a typed fault is sampled from the faults the
+current candidate set makes *available* (you cannot hallucinate a target if
+the environment adapter offered no hallucination candidates), which lets
+reflection and metrics reason about error categories explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import FaultKind
+from repro.core.types import Candidate, Subgoal
+
+#: Per-extra-agent multiplicative penalty for jointly planning N agents.
+COORDINATION_PENALTY = 0.94
+
+#: Per-decision difficulty multipliers (easy tasks are near-neutral).
+DIFFICULTY_FACTORS = {"easy": 1.0, "medium": 0.965, "hard": 0.92}
+
+#: Relative propensities of fault types when an error occurs.  Suboptimal
+#: choices dominate (they are "plausible but wrong"); outright
+#: hallucinations are rarer.  Matches the qualitative mix in Sec. IV-B.
+FAULT_WEIGHTS: dict[FaultKind, float] = {
+    FaultKind.SUBOPTIMAL: 0.46,
+    FaultKind.INFEASIBLE: 0.22,
+    FaultKind.HALLUCINATION: 0.12,
+    FaultKind.REPEATED: 0.12,
+    FaultKind.STALE_MEMORY: 0.08,
+}
+
+#: Retries attempted on format (parse) failures before giving up and
+#: falling back to a degraded choice.
+MAX_FORMAT_RETRIES = 3
+
+
+@dataclass(frozen=True)
+class DecisionRequest:
+    """Everything the behaviour kernel needs to simulate one choice."""
+
+    candidates: list[Candidate]
+    difficulty: str = "medium"
+    n_joint: int = 1
+    blacklist: frozenset[Subgoal] = frozenset()
+    has_stale_facts: bool = False
+    quality_bonus: float = 1.0  # e.g. fine-tuning or symbolic augmentation
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError("DecisionRequest requires at least one candidate")
+        if self.n_joint < 1:
+            raise ValueError(f"n_joint must be >= 1: {self.n_joint}")
+
+
+@dataclass(frozen=True)
+class DecisionOutcome:
+    """Raw kernel output, later wrapped into a :class:`Decision`."""
+
+    candidate: Candidate
+    fault: FaultKind | None
+    retries: int
+    p_correct: float
+
+
+@dataclass
+class BehaviorKernel:
+    """Stateless selection logic parameterized by capability numbers.
+
+    Separated from :class:`~repro.llm.simulated.SimulatedLLM` so it can be
+    unit- and property-tested without latency modeling.
+    """
+
+    reasoning: float
+    format_compliance: float
+    context_focus: "callable[[int], float]" = field(repr=False, default=lambda _t: 1.0)
+
+    def probability_correct(self, request: DecisionRequest, prompt_tokens: int) -> float:
+        factor = DIFFICULTY_FACTORS.get(request.difficulty)
+        if factor is None:
+            raise ValueError(f"unknown difficulty {request.difficulty!r}")
+        coordination = COORDINATION_PENALTY ** (request.n_joint - 1)
+        focus = self.context_focus(prompt_tokens)
+        p_value = self.reasoning * focus * coordination * factor * request.quality_bonus
+        return float(min(1.0, max(0.0, p_value)))
+
+    def decide(
+        self,
+        request: DecisionRequest,
+        prompt_tokens: int,
+        rng: np.random.Generator,
+    ) -> DecisionOutcome:
+        """Simulate one decision, including format-retry behaviour.
+
+        The raw error rate is scaled by how contested the choice is: with
+        a single obvious option even weak models rarely err, while rich
+        candidate sets expose the full reasoning gap (the paper's
+        "exponential growth of action interdependencies").
+        """
+        retries = self._sample_format_retries(rng)
+        p_correct = self.probability_correct(request, prompt_tokens)
+        complexity = min(1.0, len(self._clean_candidates(request)) / 4.0)
+        p_correct = 1.0 - (1.0 - p_correct) * complexity
+        if retries >= MAX_FORMAT_RETRIES:
+            # Unparseable after retries: degrade to a forced arbitrary pick.
+            candidate = self._fallback_choice(request, rng)
+            return DecisionOutcome(
+                candidate=candidate,
+                fault=FaultKind.FORMAT,
+                retries=retries,
+                p_correct=p_correct,
+            )
+        if rng.random() < p_correct:
+            return DecisionOutcome(
+                candidate=self._best_choice(request, rng),
+                fault=None,
+                retries=retries,
+                p_correct=p_correct,
+            )
+        fault, candidate = self._faulty_choice(request, rng)
+        return DecisionOutcome(
+            candidate=candidate, fault=fault, retries=retries, p_correct=p_correct
+        )
+
+    def _sample_format_retries(self, rng: np.random.Generator) -> int:
+        retries = 0
+        while retries < MAX_FORMAT_RETRIES and rng.random() > self.format_compliance:
+            retries += 1
+        return retries
+
+    def _clean_candidates(self, request: DecisionRequest) -> list[Candidate]:
+        return [
+            candidate
+            for candidate in request.candidates
+            if candidate.feasible
+            and candidate.fault is None
+            and candidate.subgoal not in request.blacklist
+        ]
+
+    def _best_choice(
+        self, request: DecisionRequest, rng: np.random.Generator | None = None
+    ) -> Candidate:
+        """Highest-utility clean candidate, breaking ties randomly.
+
+        Random tie-breaking matters: several agents planning over
+        identical candidate sets must decorrelate (sampling temperature in
+        the real systems), or they all chase the same object every step.
+        """
+        clean = self._clean_candidates(request)
+        pool = clean or list(request.candidates)
+        best_utility = max(candidate.utility for candidate in pool)
+        ties = [
+            candidate
+            for candidate in pool
+            if candidate.utility >= best_utility - 1e-9
+        ]
+        if rng is None or len(ties) == 1:
+            return ties[0]
+        return ties[int(rng.integers(len(ties)))]
+
+    def _fallback_choice(
+        self, request: DecisionRequest, rng: np.random.Generator
+    ) -> Candidate:
+        index = int(rng.integers(len(request.candidates)))
+        return request.candidates[index]
+
+    def _available_faults(
+        self, request: DecisionRequest
+    ) -> dict[FaultKind, list[Candidate]]:
+        """Map each injectable fault kind to the candidates realizing it."""
+        clean = self._clean_candidates(request)
+        best = self._best_choice(request)
+        available: dict[FaultKind, list[Candidate]] = {}
+
+        suboptimal = [
+            candidate for candidate in clean if candidate.utility < best.utility
+        ]
+        if suboptimal:
+            available[FaultKind.SUBOPTIMAL] = suboptimal
+        infeasible = [
+            candidate
+            for candidate in request.candidates
+            if not candidate.feasible and candidate.fault is None
+        ]
+        if infeasible:
+            available[FaultKind.INFEASIBLE] = infeasible
+        hallucinated = [
+            candidate
+            for candidate in request.candidates
+            if candidate.fault is FaultKind.HALLUCINATION
+        ]
+        if hallucinated:
+            available[FaultKind.HALLUCINATION] = hallucinated
+        repeated = [
+            candidate
+            for candidate in request.candidates
+            if candidate.subgoal in request.blacklist
+        ]
+        if repeated:
+            available[FaultKind.REPEATED] = repeated
+        if request.has_stale_facts:
+            stale = [
+                candidate
+                for candidate in request.candidates
+                if candidate.fault is FaultKind.STALE_MEMORY
+            ]
+            available[FaultKind.STALE_MEMORY] = stale or [best]
+        return available
+
+    def _faulty_choice(
+        self, request: DecisionRequest, rng: np.random.Generator
+    ) -> tuple[FaultKind, Candidate]:
+        available = self._available_faults(request)
+        if not available:
+            # Nothing wrong is expressible (e.g. a single obvious option):
+            # the model simply succeeds.
+            return (None, self._best_choice(request, rng))  # type: ignore[return-value]
+        kinds = list(available)
+        weights = np.array([FAULT_WEIGHTS[kind] for kind in kinds], dtype=float)
+        weights /= weights.sum()
+        kind = kinds[int(rng.choice(len(kinds), p=weights))]
+        pool = available[kind]
+        candidate = pool[int(rng.integers(len(pool)))]
+        return kind, candidate

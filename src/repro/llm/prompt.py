@@ -1,0 +1,139 @@
+"""Structured prompt assembly with per-section token accounting.
+
+A :class:`Prompt` is an ordered list of named sections (system preamble,
+task description, current observation, retrieved memory, dialogue history,
+candidate actions).  Sections keep their own token counts so experiments
+can report *where* prompt growth comes from — the paper's Fig. 6 attributes
+growth to repeated memory retrieval and concatenated multi-agent dialogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.types import Candidate, Fact, Message, Observation
+from repro.llm.tokenizer import count_tokens
+
+
+@dataclass(frozen=True)
+class PromptSection:
+    """One named block of prompt text."""
+
+    name: str
+    text: str
+
+    @property
+    def tokens(self) -> int:
+        return count_tokens(self.text)
+
+
+@dataclass
+class Prompt:
+    """An ordered collection of prompt sections."""
+
+    sections: list[PromptSection] = field(default_factory=list)
+
+    def add(self, name: str, text: str) -> "Prompt":
+        """Append a section (empty text is skipped) and return self."""
+        if text:
+            self.sections.append(PromptSection(name=name, text=text))
+        return self
+
+    @property
+    def tokens(self) -> int:
+        return sum(section.tokens for section in self.sections)
+
+    def tokens_by_section(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for section in self.sections:
+            totals[section.name] = totals.get(section.name, 0) + section.tokens
+        return totals
+
+    def render(self) -> str:
+        return "\n\n".join(
+            f"[{section.name}]\n{section.text}" for section in self.sections
+        )
+
+
+#: Most recent dialogue messages rendered into a prompt (context-limit
+#: truncation, as the benchmarked systems do).
+MAX_DIALOGUE_MESSAGES = 40
+
+
+class PromptBuilder:
+    """Fluent builder producing :class:`Prompt` objects from sim objects.
+
+    The builder mirrors how the benchmarked systems assemble prompts:
+    a fixed system preamble, the task, the current observation, retrieved
+    memory rendered as natural-language facts, the (growing) dialogue
+    history, and finally the enumerated action candidates — the paper's
+    "formalizing the action list" (Sec. II-A).
+    """
+
+    def __init__(self, system_text: str = "", task_text: str = "") -> None:
+        self._prompt = Prompt()
+        if system_text:
+            self._prompt.add("system", system_text)
+        if task_text:
+            self._prompt.add("task", task_text)
+
+    def observation(self, observation: Observation | None) -> "PromptBuilder":
+        if observation is not None:
+            self._prompt.add("observation", observation.describe())
+        return self
+
+    def memory(self, facts: list[Fact]) -> "PromptBuilder":
+        if facts:
+            text = " ".join(fact.describe() + "." for fact in facts)
+            self._prompt.add("memory", text)
+        return self
+
+    def dialogue(self, messages: list[Message]) -> "PromptBuilder":
+        """Append dialogue history, truncated to the most recent window.
+
+        Real systems cannot concatenate unbounded dialogue — they truncate
+        at the context limit.  The cap keeps the paper's token-growth
+        dynamics (Fig. 6) while bounding prompt size for large teams.
+        """
+        if messages:
+            recent = messages[-MAX_DIALOGUE_MESSAGES:]
+            text = " ".join(message.describe() for message in recent)
+            self._prompt.add("dialogue", text)
+        return self
+
+    def candidates(self, candidates: list[Candidate]) -> "PromptBuilder":
+        if candidates:
+            lines = [
+                f"({index}) {candidate.subgoal.describe()}"
+                for index, candidate in enumerate(candidates)
+            ]
+            self._prompt.add("candidates", " ".join(lines))
+        return self
+
+    def extra(self, name: str, text: str) -> "PromptBuilder":
+        self._prompt.add(name, text)
+        return self
+
+    def build(self) -> Prompt:
+        return self._prompt
+
+
+#: Default system preambles, sized to match typical few-shot scaffolding.
+PLANNER_SYSTEM_TEXT = (
+    "You are the high level planner of an embodied agent. Decompose the "
+    "long horizon task into sub objectives, reason about the current world "
+    "state, and choose exactly one of the enumerated candidate actions. "
+    "Respond with the candidate index only. Prior demonstrations follow."
+)
+
+COMMUNICATOR_SYSTEM_TEXT = (
+    "You are the communication module of an embodied agent. Read the "
+    "current plan and world knowledge and compose a concise message to "
+    "your teammates sharing only information useful for coordination."
+)
+
+REFLECTOR_SYSTEM_TEXT = (
+    "You are the reflection module of an embodied agent. Compare the state "
+    "before and after the last executed action and judge whether the plan "
+    "step succeeded, failed, or had no effect. Respond with the verdict."
+)

@@ -1,0 +1,190 @@
+"""The simulated LLM engine: behaviour kernel + latency model.
+
+``SimulatedLLM`` is the drop-in substitute for "a GPT-4 API call" or "local
+Llama inference" everywhere in the stack.  It is *pure* with respect to
+time: calls return their modeled latency and the caller (a module) advances
+the episode's virtual clock, which keeps the engine trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Decision
+from repro.llm.behavior import BehaviorKernel, DecisionRequest
+from repro.llm.deployment import DeploymentOptions
+from repro.llm.profiles import LLMProfile, get_profile
+from repro.llm.prompt import Prompt
+
+#: Typical generation lengths (tokens) per call purpose, matching the mix
+#: of calls the paper attributes to each module (plans are long, action
+#: selections short).
+OUTPUT_TOKENS = {
+    "plan": 130,
+    "message": 70,
+    "action_selection": 24,
+    "reflection": 32,
+    "primitive": 16,
+    "world_model": 90,
+}
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """Outcome of a free-form generation call (message, verdict, ...)."""
+
+    prompt_tokens: int
+    output_tokens: int
+    latency: float
+
+
+class SimulatedLLM:
+    """A language model stand-in with calibrated latency and quality.
+
+    Parameters
+    ----------
+    profile:
+        The model profile (or its registry name).
+    rng:
+        Episode-scoped random generator; all stochasticity flows from it.
+    deployment:
+        Serving options (batching, quantization, runtime).
+    """
+
+    def __init__(
+        self,
+        profile: LLMProfile | str,
+        rng: np.random.Generator,
+        deployment: DeploymentOptions | None = None,
+    ) -> None:
+        base = get_profile(profile) if isinstance(profile, str) else profile
+        self.deployment = deployment or DeploymentOptions()
+        self.profile = self.deployment.effective_profile(base)
+        self._rng = rng
+        self.kernel = BehaviorKernel(
+            reasoning=self.profile.reasoning,
+            format_compliance=self.profile.format_compliance,
+            context_focus=self.profile.context_focus,
+        )
+        self.calls = 0
+        self.total_prompt_tokens = 0
+        self.total_output_tokens = 0
+
+    # ------------------------------------------------------------------ #
+    # Decision calls (planning / action selection)
+    # ------------------------------------------------------------------ #
+
+    def decide(
+        self,
+        request: DecisionRequest,
+        prompt: Prompt,
+        purpose: str = "plan",
+    ) -> Decision:
+        """Choose one candidate; returns the decision with modeled latency.
+
+        Each format retry costs a full additional round-trip (the caller
+        re-issues the request), which is how malformed outputs from small
+        local models inflate end-to-end latency (paper Sec. V-A).
+        """
+        prompt_tokens = prompt.tokens
+        output_tokens = OUTPUT_TOKENS.get(purpose, OUTPUT_TOKENS["plan"])
+        outcome = self.kernel.decide(request, prompt_tokens, self._rng)
+        calls = 1 + outcome.retries
+        latency = calls * self.profile.call_latency(prompt_tokens, output_tokens)
+        self._account(calls * prompt_tokens, calls * output_tokens, calls)
+        return Decision(
+            subgoal=outcome.candidate.subgoal,
+            fault=outcome.fault,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            latency=latency,
+            retries=outcome.retries,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Generation calls (messages, verdicts, captions)
+    # ------------------------------------------------------------------ #
+
+    def generate(self, prompt: Prompt, purpose: str = "message") -> GenerationResult:
+        """Free-form generation: costs latency, returns token accounting."""
+        prompt_tokens = prompt.tokens
+        output_tokens = OUTPUT_TOKENS.get(purpose, OUTPUT_TOKENS["message"])
+        latency = self.profile.call_latency(prompt_tokens, output_tokens)
+        self._account(prompt_tokens, output_tokens, 1)
+        return GenerationResult(
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            latency=latency,
+        )
+
+    def judge(self, prompt: Prompt, true_outcome: bool) -> tuple[bool, GenerationResult]:
+        """Binary judgment (used by reflection): detect ``true_outcome``.
+
+        Detection is asymmetric, like real outcome verification: spotting
+        a failed action from the state diff is reliable (true-positive
+        rate = the model's reasoning score), while falsely condemning a
+        step that visibly succeeded is rare (a quarter of the miss rate).
+        Weak reflectors therefore mostly *miss* failures rather than
+        sabotage good steps.
+        """
+        result = self.generate(prompt, purpose="reflection")
+        accuracy = self.kernel.probability_correct(
+            DecisionRequest(candidates=[_JUDGE_CANDIDATE]), result.prompt_tokens
+        )
+        if true_outcome:
+            verdict = self._rng.random() < accuracy
+        else:
+            false_positive_rate = (1.0 - accuracy) * 0.1
+            verdict = self._rng.random() < false_positive_rate
+        return verdict, result
+
+    def batched_decide(
+        self,
+        requests: list[DecisionRequest],
+        prompts: list[Prompt],
+        purpose: str = "plan",
+    ) -> list[Decision]:
+        """Serve several decision requests as one batch (Recommendation 1).
+
+        The shared batch latency is attributed to every returned decision
+        (they complete together); quality is computed per request exactly
+        as in the unbatched path.
+        """
+        if len(requests) != len(prompts):
+            raise ValueError("requests and prompts must align")
+        if not requests:
+            return []
+        output_tokens = OUTPUT_TOKENS.get(purpose, OUTPUT_TOKENS["plan"])
+        prompt_token_list = [prompt.tokens for prompt in prompts]
+        latency = self.deployment.batched_call_latency(
+            self.profile,
+            prompt_token_list,
+            [output_tokens] * len(requests),
+        )
+        decisions = []
+        for request, prompt_tokens in zip(requests, prompt_token_list):
+            outcome = self.kernel.decide(request, prompt_tokens, self._rng)
+            self._account(prompt_tokens, output_tokens, 1)
+            decisions.append(
+                Decision(
+                    subgoal=outcome.candidate.subgoal,
+                    fault=outcome.fault,
+                    prompt_tokens=prompt_tokens,
+                    output_tokens=output_tokens,
+                    latency=latency,
+                    retries=outcome.retries,
+                )
+            )
+        return decisions
+
+    def _account(self, prompt_tokens: int, output_tokens: int, calls: int) -> None:
+        self.calls += calls
+        self.total_prompt_tokens += prompt_tokens
+        self.total_output_tokens += output_tokens
+
+
+from repro.core.types import Candidate, Subgoal  # noqa: E402  (cycle-free tail import)
+
+_JUDGE_CANDIDATE = Candidate(subgoal=Subgoal(name="judge"), utility=1.0)

@@ -1,0 +1,69 @@
+"""Detection simulation: ground-truth facts → noisy observed facts.
+
+The sensing module hands the agent's ground-truth visible facts to
+:func:`detect`, which simulates what the perception model actually reports:
+some facts are missed (finite recall) and some are mislabeled (the value is
+corrupted).  Mislabeled location facts are the seed of downstream
+stale-memory faults — the agent will confidently navigate to the wrong
+place, exactly the perception-induced failure mode modular systems exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import Fact
+from repro.perception.models import PerceptionProfile
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """What the perception model reported for one frame."""
+
+    facts: tuple[Fact, ...]
+    missed: int
+    mislabeled: int
+    latency: float
+
+
+def detect(
+    ground_facts: list[Fact],
+    profile: PerceptionProfile,
+    rng: np.random.Generator,
+    distractor_values: list[str] | None = None,
+) -> DetectionResult:
+    """Simulate one perception pass over ``ground_facts``.
+
+    ``distractor_values`` supplies plausible wrong values for mislabeling
+    (e.g. other locations in the scene); without them mislabeling is
+    skipped, since a detector cannot invent values outside its vocabulary.
+    """
+    observed: list[Fact] = []
+    missed = 0
+    mislabeled = 0
+    for fact in ground_facts:
+        if rng.random() > profile.recall:
+            missed += 1
+            continue
+        if distractor_values and rng.random() < profile.mislabel_rate:
+            wrong_value = distractor_values[int(rng.integers(len(distractor_values)))]
+            if wrong_value != fact.value:
+                observed.append(
+                    Fact(
+                        subject=fact.subject,
+                        relation=fact.relation,
+                        value=wrong_value,
+                        step=fact.step,
+                    )
+                )
+                mislabeled += 1
+                continue
+        observed.append(fact)
+    return DetectionResult(
+        facts=tuple(observed),
+        missed=missed,
+        mislabeled=mislabeled,
+        latency=profile.latency_s,
+    )

@@ -1,0 +1,47 @@
+"""Scripted action-list execution (MindAgent, CMAS, DMAS, JARVIS-1 style).
+
+Several benchmarked systems execute high-level plans through a validated
+"action list": the plan names a known macro (e.g. ``cook onion_soup``) and
+a scripted expansion produces the primitive sequence, after a feasibility
+validation pass.  This planner models that pipeline: cheap per-action
+validation compute plus the primitive list itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.types import Action
+from repro.planners.costmodel import ComputeCost
+
+
+@dataclass(frozen=True)
+class ActionListResult:
+    """Expansion of a macro into validated primitives."""
+
+    actions: tuple[Action, ...]
+    cost: ComputeCost
+    valid: bool
+    reason: str = ""
+
+
+def expand_action_list(
+    actions: list[Action],
+    known_verbs: frozenset[str],
+) -> ActionListResult:
+    """Validate a primitive sequence against the environment's verb set.
+
+    Validation walks the list once (cost model: one op per action); an
+    unknown verb marks the expansion invalid, mirroring how action-list
+    executors reject hallucinated skills.
+    """
+    cost = ComputeCost(actionlist_actions=max(1, len(actions)))
+    for action in actions:
+        if action.verb not in known_verbs:
+            return ActionListResult(
+                actions=(),
+                cost=cost,
+                valid=False,
+                reason=f"unknown verb {action.verb!r}",
+            )
+    return ActionListResult(actions=tuple(actions), cost=cost, valid=True)

@@ -1,0 +1,102 @@
+"""Grid A* used by navigation-style execution modules (CoELA, COHERENT).
+
+A textbook implementation over 4-connected grids with a Manhattan
+heuristic.  Beyond the path it reports the number of node expansions so
+:mod:`repro.planners.costmodel` can charge compute time the way the paper
+attributes low-level planning latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+Cell = tuple[int, int]
+
+_NEIGHBOR_OFFSETS: tuple[Cell, ...] = ((1, 0), (-1, 0), (0, 1), (0, -1))
+
+
+@dataclass(frozen=True)
+class AStarResult:
+    """Search outcome: ``path`` is empty when the goal is unreachable."""
+
+    path: tuple[Cell, ...]
+    expansions: int
+    found: bool
+
+    @property
+    def cost(self) -> int:
+        """Path length in moves (0 when start == goal or no path)."""
+        return max(0, len(self.path) - 1)
+
+
+def manhattan(a: Cell, b: Cell) -> int:
+    return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+
+def astar(
+    start: Cell,
+    goal: Cell,
+    passable: "callable[[Cell], bool]",
+    width: int,
+    height: int,
+    max_expansions: int = 100_000,
+) -> AStarResult:
+    """Shortest 4-connected path from ``start`` to ``goal``.
+
+    ``passable`` decides traversability per cell; ``start`` and ``goal``
+    are always treated as traversable (an agent can plan from/to its own
+    cell even if occupancy marks it blocked).
+    """
+    if not (0 <= start[0] < width and 0 <= start[1] < height):
+        raise ValueError(f"start {start} outside {width}x{height} grid")
+    if not (0 <= goal[0] < width and 0 <= goal[1] < height):
+        raise ValueError(f"goal {goal} outside {width}x{height} grid")
+    if start == goal:
+        return AStarResult(path=(start,), expansions=0, found=True)
+
+    open_heap: list[tuple[int, int, Cell]] = [(manhattan(start, goal), 0, start)]
+    g_score: dict[Cell, int] = {start: 0}
+    came_from: dict[Cell, Cell] = {}
+    closed: set[Cell] = set()
+    expansions = 0
+    tie_breaker = 0
+
+    while open_heap and expansions < max_expansions:
+        _f, _tie, current = heapq.heappop(open_heap)
+        if current in closed:
+            continue
+        closed.add(current)
+        expansions += 1
+        if current == goal:
+            return AStarResult(
+                path=_reconstruct(came_from, current), expansions=expansions, found=True
+            )
+        current_g = g_score[current]
+        for dx, dy in _NEIGHBOR_OFFSETS:
+            neighbor = (current[0] + dx, current[1] + dy)
+            if not (0 <= neighbor[0] < width and 0 <= neighbor[1] < height):
+                continue
+            if neighbor in closed:
+                continue
+            if neighbor != goal and not passable(neighbor):
+                continue
+            tentative_g = current_g + 1
+            if tentative_g < g_score.get(neighbor, 1 << 30):
+                g_score[neighbor] = tentative_g
+                came_from[neighbor] = current
+                tie_breaker += 1
+                heapq.heappush(
+                    open_heap,
+                    (tentative_g + manhattan(neighbor, goal), tie_breaker, neighbor),
+                )
+
+    return AStarResult(path=(), expansions=expansions, found=False)
+
+
+def _reconstruct(came_from: dict[Cell, Cell], end: Cell) -> tuple[Cell, ...]:
+    path = [end]
+    while path[-1] in came_from:
+        path.append(came_from[path[-1]])
+    path.reverse()
+    return tuple(path)

@@ -1,0 +1,134 @@
+"""Planar RRT used by manipulation execution modules (RoCo, COHERENT).
+
+A rapidly-exploring random tree over a unit-square workspace with circular
+obstacles.  Deterministic given the supplied generator.  Reports iteration
+counts for the compute-cost model; the paper singles out RRT as a source of
+non-negligible execution latency (49.4 % of RoCo's step time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+Point = tuple[float, float]
+
+
+@dataclass(frozen=True)
+class CircleObstacle:
+    """A disc the planner must avoid."""
+
+    x: float
+    y: float
+    radius: float
+
+    def contains(self, point: Point, margin: float = 0.0) -> bool:
+        dx = point[0] - self.x
+        dy = point[1] - self.y
+        reach = self.radius + margin
+        return dx * dx + dy * dy <= reach * reach
+
+
+@dataclass(frozen=True)
+class RRTResult:
+    path: tuple[Point, ...]
+    iterations: int
+    found: bool
+
+    @property
+    def length(self) -> float:
+        """Euclidean path length."""
+        total = 0.0
+        for (x0, y0), (x1, y1) in zip(self.path, self.path[1:]):
+            total += float(np.hypot(x1 - x0, y1 - y0))
+        return total
+
+
+def _segment_clear(
+    a: Point, b: Point, obstacles: list[CircleObstacle], margin: float
+) -> bool:
+    steps = max(2, int(np.hypot(b[0] - a[0], b[1] - a[1]) / 0.02))
+    for t in np.linspace(0.0, 1.0, steps):
+        point = (a[0] + t * (b[0] - a[0]), a[1] + t * (b[1] - a[1]))
+        if any(obstacle.contains(point, margin) for obstacle in obstacles):
+            return False
+    return True
+
+
+def rrt_plan(
+    start: Point,
+    goal: Point,
+    obstacles: list[CircleObstacle],
+    rng: np.random.Generator,
+    step_size: float = 0.08,
+    goal_bias: float = 0.12,
+    goal_tolerance: float = 0.05,
+    max_iterations: int = 2000,
+    margin: float = 0.01,
+) -> RRTResult:
+    """Plan a collision-free path in the unit square.
+
+    ``goal_bias`` is the probability of sampling the goal directly, the
+    standard trick to pull the tree toward the target.
+    """
+    for name, point in (("start", start), ("goal", goal)):
+        if not (0.0 <= point[0] <= 1.0 and 0.0 <= point[1] <= 1.0):
+            raise ValueError(f"{name} {point} outside unit workspace")
+    if any(obstacle.contains(start, margin) for obstacle in obstacles):
+        return RRTResult(path=(), iterations=0, found=False)
+
+    nodes: list[Point] = [start]
+    parents: list[int] = [-1]
+
+    for iteration in range(1, max_iterations + 1):
+        if rng.random() < goal_bias:
+            sample: Point = goal
+        else:
+            sample = (float(rng.random()), float(rng.random()))
+        nearest_index = _nearest(nodes, sample)
+        new_point = _steer(nodes[nearest_index], sample, step_size)
+        if not _segment_clear(nodes[nearest_index], new_point, obstacles, margin):
+            continue
+        nodes.append(new_point)
+        parents.append(nearest_index)
+        if np.hypot(new_point[0] - goal[0], new_point[1] - goal[1]) <= goal_tolerance:
+            if _segment_clear(new_point, goal, obstacles, margin):
+                nodes.append(goal)
+                parents.append(len(nodes) - 2)
+                return RRTResult(
+                    path=_trace(nodes, parents), iterations=iteration, found=True
+                )
+
+    return RRTResult(path=(), iterations=max_iterations, found=False)
+
+
+def _nearest(nodes: list[Point], sample: Point) -> int:
+    best_index = 0
+    best_distance = float("inf")
+    for index, (x, y) in enumerate(nodes):
+        distance = (x - sample[0]) ** 2 + (y - sample[1]) ** 2
+        if distance < best_distance:
+            best_distance = distance
+            best_index = index
+    return best_index
+
+
+def _steer(origin: Point, target: Point, step_size: float) -> Point:
+    dx = target[0] - origin[0]
+    dy = target[1] - origin[1]
+    distance = float(np.hypot(dx, dy))
+    if distance <= step_size or distance == 0.0:
+        return target
+    scale = step_size / distance
+    return (
+        min(1.0, max(0.0, origin[0] + dx * scale)),
+        min(1.0, max(0.0, origin[1] + dy * scale)),
+    )
+
+
+def _trace(nodes: list[Point], parents: list[int]) -> tuple[Point, ...]:
+    path = [len(nodes) - 1]
+    while parents[path[-1]] != -1:
+        path.append(parents[path[-1]])
+    return tuple(nodes[index] for index in reversed(path))

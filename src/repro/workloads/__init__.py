@@ -1,0 +1,48 @@
+"""The 14-system embodied workload suite (paper Sec. III)."""
+
+from repro.workloads.base import TaxonomyEntry, Workload
+from repro.workloads.cmas import CMAS
+from repro.workloads.coela import COELA
+from repro.workloads.coherent import COHERENT
+from repro.workloads.combo import COMBO
+from repro.workloads.dadue import DADUE
+from repro.workloads.deps import DEPS
+from repro.workloads.dmas import DMAS
+from repro.workloads.embodiedgpt import EMBODIEDGPT
+from repro.workloads.hmas import HMAS
+from repro.workloads.jarvis1 import JARVIS1
+from repro.workloads.mindagent import MINDAGENT
+from repro.workloads.mp5 import MP5
+from repro.workloads.ola import OLA
+from repro.workloads.registry import (
+    EXTENDED_TAXONOMY,
+    WORKLOAD_SUITE,
+    full_taxonomy,
+    get_workload,
+    list_workloads,
+)
+from repro.workloads.roco import ROCO
+
+__all__ = [
+    "CMAS",
+    "COELA",
+    "COHERENT",
+    "COMBO",
+    "DADUE",
+    "DEPS",
+    "DMAS",
+    "EMBODIEDGPT",
+    "EXTENDED_TAXONOMY",
+    "HMAS",
+    "JARVIS1",
+    "MINDAGENT",
+    "MP5",
+    "OLA",
+    "ROCO",
+    "TaxonomyEntry",
+    "WORKLOAD_SUITE",
+    "Workload",
+    "full_taxonomy",
+    "get_workload",
+    "list_workloads",
+]

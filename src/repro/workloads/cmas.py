@@ -1,0 +1,29 @@
+"""CMAS: centralized multi-robot collaboration (Chen et al., 2024).
+
+Paper composition (Table II): ViLD open-vocabulary detection for scene
+description, a single central GPT-4 producing the next action for every
+robot, GPT-4 instruction communication, observation/action/dialogue
+memory, action-list execution, no reflection.  Evaluated on BoxNet /
+Warehouse / BoxLift — our ``boxworld`` environment.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+CMAS = Workload(
+    config=SystemConfig(
+        name="cmas",
+        paradigm="centralized",
+        env_name="boxworld",
+        sensing_model="vild",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model=None,
+        execution_enabled=True,
+        default_agents=4,
+        embodied_type="Simulation (V)",
+    ),
+    application="Collaborative planning, manipulator, object transport",
+    datasets="BoxNet1, BoxNet2, WareHouse, BoxLift",
+)

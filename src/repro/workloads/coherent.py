@@ -1,0 +1,32 @@
+"""COHERENT: centralized heterogeneous multi-robot planning (Liu et al., 2024).
+
+Paper composition (Table II): DINO sensing, GPT-4
+proposal-execution-feedback-adjustment planning and communication,
+observation/action/dialogue memory, GPT-4 reflection, RRT/A* execution.
+Evaluated on BEHAVIOR-1K household scenarios — our ``household``
+environment with RRT-arm manipulation (``arm_rrt=True``), which gives
+COHERENT the communication+execution heavy latency profile the paper
+reports.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+COHERENT = Workload(
+    config=SystemConfig(
+        name="coherent",
+        paradigm="centralized",
+        env_name="household",
+        sensing_model="dino",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model="gpt-4",
+        execution_enabled=True,
+        default_agents=3,
+        embodied_type="Simulation (V)",
+        env_params={"arm_rrt": True},
+    ),
+    application="Collaborative planning, robot arm manipulation",
+    datasets="BEHAVIOR-1K",
+)

@@ -1,0 +1,34 @@
+"""COMBO: compositional world-model multi-agent cooperation (Zhang et al., 2024).
+
+Paper composition (Table II): a diffusion model reconstructs the global
+world state from egocentric views (our ``diffusion-world-model``
+perception profile: slow, near-global recall, occasional imagined
+errors), LLaVA-7B planning and communication, observation/action/dialogue
+memory, A* execution, no reflection.  Evaluated on TDW-Game / TDW-Cook —
+our ``cuisine`` environment in decentralized mode.
+
+COMBO is a decentralized subject of the scalability analysis (Fig. 7c/7f);
+its small local planner compounds the dialogue-dilution penalty at high
+agent counts.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+COMBO = Workload(
+    config=SystemConfig(
+        name="combo",
+        paradigm="decentralized",
+        env_name="cuisine",
+        sensing_model="diffusion-world-model",
+        planning_model="llava-7b",
+        communication_model="llava-7b",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model=None,
+        execution_enabled=True,
+        default_agents=2,
+        embodied_type="Simulation (V)",
+    ),
+    application="Collaborative gaming, housework",
+    datasets="TDW-Game, TDW-Cook",
+)

@@ -1,0 +1,29 @@
+"""DEPS: describe-explain-plan-select agent (Wang et al., 2023).
+
+Paper composition (Table II): symbolic state sensing (simulator feed),
+GPT-4 planning, CLIP-based plan selection as the reflection stage, and a
+MineDojo low-level controller; no persistent memory.  The CLIP selector
+profile gives DEPS a near-free reflection stage with moderate detection
+accuracy — cheaper but weaker error correction than the GPT-4 reflectors.
+"""
+
+from repro.core.config import SystemConfig
+from repro.workloads.base import Workload
+
+DEPS = Workload(
+    config=SystemConfig(
+        name="deps",
+        paradigm="modular",
+        env_name="mineworld",
+        sensing_model="symbolic",
+        planning_model="gpt-4",
+        communication_model=None,
+        memory=None,
+        reflection_model="clip-selector",
+        execution_enabled=True,
+        default_agents=1,
+        embodied_type="Simulation (V)",
+    ),
+    application="Embodied planning (e.g., obtain diamond pickaxe)",
+    datasets="Minecraft, MineRL, ALFWorld",
+)

@@ -1,0 +1,29 @@
+"""DMAS: decentralized multi-robot dialogue planning (Chen et al., 2024).
+
+Paper composition (Table II): ViLD scene description, per-agent GPT-4
+planning with turn-taking dialogue communication,
+observation/action/dialogue memory, action-list execution, no reflection.
+Evaluated on BoxNet / Warehouse / BoxLift — our ``boxworld`` environment
+in decentralized mode, where dialogue rounds grow with team size.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+DMAS = Workload(
+    config=SystemConfig(
+        name="dmas",
+        paradigm="decentralized",
+        env_name="boxworld",
+        sensing_model="vild",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model=None,
+        execution_enabled=True,
+        default_agents=4,
+        embodied_type="Simulation (V)",
+    ),
+    application="Collaborative planning, manipulator, object transport",
+    datasets="BoxNet1, BoxNet2, WareHouse, BoxLift",
+)

@@ -1,0 +1,32 @@
+"""EmbodiedGPT: multi-modal single-agent modular system (Mu et al., 2024).
+
+Paper composition (Table II): ViT sensing, a domain-fine-tuned Llama-7B
+visual-language planner, and a low-level MLP policy executor.  No
+communication, memory, or reflection.  Evaluated on Franka Kitchen /
+Meta-World style short-horizon manipulation — our ``kitchen`` environment.
+
+Characteristic behaviours reproduced: the execution (policy) module is a
+substantial latency share (paper: 24.1 %), and per-step latency is the
+lowest of the suite because the planner is a small local model.
+"""
+
+from repro.core.config import SystemConfig
+from repro.workloads.base import Workload
+
+EMBODIEDGPT = Workload(
+    config=SystemConfig(
+        name="embodiedgpt",
+        paradigm="modular",
+        env_name="kitchen",
+        sensing_model="vit",
+        planning_model="llama-7b-ft",
+        communication_model=None,
+        memory=None,
+        reflection_model=None,
+        execution_enabled=True,
+        default_agents=1,
+        embodied_type="Simulation (V)",
+    ),
+    application="Embodied planning, visual captioning, VQA",
+    datasets="Franka Kitchen, Meta-World, VirtualHome",
+)

@@ -1,0 +1,31 @@
+"""HMAS: hybrid centralized/decentralized planning (Chen et al., 2024).
+
+Paper composition (Table II): ViLD sensing, GPT-4 planning and
+communication, observation/action/dialogue memory, GPT-4 reflection,
+action-list execution.  A central agent primes each step with an initial
+joint plan, every worker returns one short feedback message, and the
+centre refines — implemented by :class:`~repro.core.paradigms.hybrid.HybridLoop`.
+
+HMAS is one of Fig. 3's ablation subjects.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+HMAS = Workload(
+    config=SystemConfig(
+        name="hmas",
+        paradigm="hybrid",
+        env_name="boxworld",
+        sensing_model="vild",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model="gpt-4",
+        execution_enabled=True,
+        default_agents=4,
+        embodied_type="Simulation (V)",
+    ),
+    application="Collaborative planning, manipulator, object transport",
+    datasets="BoxNet1, BoxNet2, WareHouse, BoxLift",
+)

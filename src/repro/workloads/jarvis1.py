@@ -1,0 +1,32 @@
+"""JARVIS-1: open-world memory-augmented single agent (Wang et al., 2024).
+
+Paper composition (Table II): MineCLIP sensing, GPT-4 planning,
+observation+action memory, Llama-13B self-reflection, action-list
+execution.  Evaluated on Minecraft long-horizon progressions (obtain a
+diamond pickaxe) — our ``mineworld`` environment's tool-tier DAG.
+
+JARVIS-1 is one of Fig. 3's ablation subjects (its communication column is
+"Not Applicable" since it is single-agent) and one of Fig. 5's memory
+capacity sweep subjects.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+JARVIS1 = Workload(
+    config=SystemConfig(
+        name="jarvis-1",
+        paradigm="modular",
+        env_name="mineworld",
+        sensing_model="mineclip",
+        planning_model="gpt-4",
+        communication_model=None,
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model="llama-13b",
+        execution_enabled=True,
+        default_agents=1,
+        embodied_type="Simulation (V)",
+    ),
+    application="Embodied planning (e.g., obtain diamond pickaxe)",
+    datasets="Minecraft",
+)

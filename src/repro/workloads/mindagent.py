@@ -1,0 +1,34 @@
+"""MindAgent: centralized multi-agent gaming coordinator (Gong et al., 2024).
+
+Paper composition (Table II): no separate sensing model (the game state is
+symbolic), GPT-4 planning and communication, observation/action/dialogue
+memory, action-list execution.  Evaluated on CuisineWorld — our
+``cuisine`` environment with order-driven scheduling.
+
+MindAgent is the centralized subject of both the memory-capacity sweep
+(Fig. 5) and the scalability analysis (Fig. 7a/7d), where its single
+joint-planning call per step keeps latency growth linear while success
+collapses with agent count.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+MINDAGENT = Workload(
+    config=SystemConfig(
+        name="mindagent",
+        paradigm="centralized",
+        env_name="cuisine",
+        sensing_model=None,
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model=None,
+        execution_enabled=True,
+        default_agents=2,
+        embodied_type="Simulation (V)",
+        env_params={"deadline_steps": 40},
+    ),
+    application="Collaborative planning, gaming, housework",
+    datasets="CuisineWorld, Minecraft",
+)

@@ -1,0 +1,28 @@
+"""MP5: open-ended multimodal Minecraft agent (Qin et al., 2024).
+
+Paper composition (Table II): MineCLIP active perception, GPT-4
+planning, GPT-4 reflection ("patroller"), MineDojo low-level performer —
+no persistent memory module.  Our ``mineworld`` environment exercises the
+same process/context-dependent long-horizon progression.
+"""
+
+from repro.core.config import SystemConfig
+from repro.workloads.base import Workload
+
+MP5 = Workload(
+    config=SystemConfig(
+        name="mp5",
+        paradigm="modular",
+        env_name="mineworld",
+        sensing_model="mineclip",
+        planning_model="gpt-4",
+        communication_model=None,
+        memory=None,
+        reflection_model="gpt-4",
+        execution_enabled=True,
+        default_agents=1,
+        embodied_type="Simulation (V)",
+    ),
+    application="Object transport, situation-aware long-term planning",
+    datasets="Minecraft",
+)

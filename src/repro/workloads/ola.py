@@ -1,0 +1,29 @@
+"""OLA — Organized LLM Agents (Guo et al., 2024): centralized teams.
+
+Paper composition (Table II): GPT-4 planning and communication with
+criticize-reflect organization improvement (GPT-4 reflection),
+observation/action/dialogue memory, action-list execution.  Evaluated on
+VirtualHome / C-WAH housework — our ``household`` environment with a
+centralized coordinator.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+OLA = Workload(
+    config=SystemConfig(
+        name="ola",
+        paradigm="centralized",
+        env_name="household",
+        sensing_model=None,
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model="gpt-4",
+        execution_enabled=True,
+        default_agents=2,
+        embodied_type="Simulation (V)",
+    ),
+    application="Collaborative planning, object transport",
+    datasets="VirtualHome, C-WAH",
+)

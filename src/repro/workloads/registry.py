@@ -1,0 +1,124 @@
+"""Workload registry: the 14-system benchmark suite plus the Table I taxonomy.
+
+``WORKLOAD_SUITE`` holds the runnable systems (paper Sec. III); ``TAXONOMY``
+adds the categorized-but-not-benchmarked systems so Table I can be
+regenerated in full.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnknownWorkloadError
+from repro.workloads.base import TaxonomyEntry, Workload
+from repro.workloads.cmas import CMAS
+from repro.workloads.coela import COELA
+from repro.workloads.coherent import COHERENT
+from repro.workloads.combo import COMBO
+from repro.workloads.dadue import DADUE
+from repro.workloads.deps import DEPS
+from repro.workloads.dmas import DMAS
+from repro.workloads.embodiedgpt import EMBODIEDGPT
+from repro.workloads.hmas import HMAS
+from repro.workloads.jarvis1 import JARVIS1
+from repro.workloads.mindagent import MINDAGENT
+from repro.workloads.mp5 import MP5
+from repro.workloads.ola import OLA
+from repro.workloads.roco import ROCO
+
+#: The benchmarked suite, in the paper's presentation order (Table II).
+WORKLOAD_SUITE: tuple[Workload, ...] = (
+    EMBODIEDGPT,
+    JARVIS1,
+    DADUE,
+    MP5,
+    DEPS,
+    MINDAGENT,
+    OLA,
+    COHERENT,
+    CMAS,
+    COELA,
+    COMBO,
+    ROCO,
+    DMAS,
+    HMAS,
+)
+
+_BY_NAME: dict[str, Workload] = {workload.name: workload for workload in WORKLOAD_SUITE}
+
+
+def get_workload(name: str) -> Workload:
+    """Look up a suite workload by its registered name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+
+
+def list_workloads() -> list[str]:
+    return [workload.name for workload in WORKLOAD_SUITE]
+
+
+def _entry(
+    name: str,
+    category: str,
+    flags: str,
+    embodied_type: str,
+) -> TaxonomyEntry:
+    """Compact constructor: ``flags`` is six chars of 'y'/'n' in S P C M R E order."""
+    if len(flags) != 6 or set(flags) - {"y", "n"}:
+        raise ValueError(f"flags must be six y/n chars, got {flags!r}")
+    s, p, c, m, r, e = (char == "y" for char in flags)
+    return TaxonomyEntry(
+        name=name,
+        category=category,
+        sensing=s,
+        planning=p,
+        communication=c,
+        memory=m,
+        reflection=r,
+        execution=e,
+        embodied_type=embodied_type,
+    )
+
+
+#: Table I rows for systems outside the benchmarked suite (module flags
+#: transcribed from the paper).
+EXTENDED_TAXONOMY: tuple[TaxonomyEntry, ...] = (
+    _entry("mobile-agent", "single-modular", "yynnyy", "Device Control (T)"),
+    _entry("appagent", "single-modular", "yynnny", "Device Control (T)"),
+    _entry("pddl", "single-modular", "nynnyn", "Simulation (V)"),
+    _entry("robogpt", "single-modular", "yynnny", "Simulation (V)"),
+    _entry("voyager", "single-modular", "nynyyy", "Simulation (V)"),
+    _entry("rila", "single-modular", "yynyyy", "Navigation (V)"),
+    _entry("cradle", "single-modular", "yynyyy", "Device Control (T)"),
+    _entry("steve", "single-modular", "yynnny", "Simulation (V)"),
+    _entry("film", "single-modular", "yynnny", "Simulation (V)"),
+    _entry("llm-planner", "single-modular", "nynnyy", "Simulation (V)"),
+    _entry("minedojo", "single-modular", "yynyny", "Simulation (V)"),
+    _entry("luban", "single-modular", "yynyyy", "Simulation (V)"),
+    _entry("metagpt", "single-modular", "nyyyyy", "Programming (T)"),
+    _entry("mobile-agent-v2", "single-modular", "yynyyy", "Device Control (T)"),
+    _entry("rt-2", "single-end-to-end", "yynnny", "Robot Control (E)"),
+    _entry("robovlms", "single-end-to-end", "yynnny", "Robot Control (E)"),
+    _entry("gaia-1", "single-end-to-end", "yynnny", "Autonomous Driving (E)"),
+    _entry("3d-vla", "single-end-to-end", "yynnny", "Robot Control (E)"),
+    _entry("octo", "single-end-to-end", "yynnny", "Robot Control (E)"),
+    _entry("diffusion-policy", "single-end-to-end", "yynnny", "Robot Control (E)"),
+    _entry("llamac", "multi-centralized", "nyyyny", "Simulation (V)"),
+    _entry("algpt", "multi-centralized", "yyyyny", "Navigation (V)"),
+    _entry("read", "multi-centralized", "nyynyy", "Simulation (V)"),
+    _entry("co-navgpt", "multi-centralized", "yyynny", "Navigation (V)"),
+    _entry("aga", "multi-decentralized", "yyyyyy", "Simulation (V)"),
+    _entry("fma", "multi-decentralized", "nyyyyy", "Programming (T)"),
+    _entry("agentverse", "multi-decentralized", "nyynny", "Simulation (V)"),
+    _entry("koma", "multi-decentralized", "nyyyyy", "Simulation (V)"),
+)
+
+
+def full_taxonomy() -> list[TaxonomyEntry]:
+    """Suite entries + extended entries = the complete Table I."""
+    return [workload.taxonomy_entry() for workload in WORKLOAD_SUITE] + list(
+        EXTENDED_TAXONOMY
+    )

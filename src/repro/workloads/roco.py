@@ -1,0 +1,31 @@
+"""RoCo: dialectic multi-robot collaboration (Mandi et al., 2024).
+
+Paper composition (Table II): OWL-ViT perception, GPT-4 planning and
+communication, memory, GPT-4 reflection, RRT low-level trajectory
+planning.  Evaluated on RoCoBench — our ``tabletop`` environment, where
+every transport runs a real RRT query around the other arms' occupancy.
+
+RoCo has the largest execution-latency share of the suite (paper: 49.4 %),
+which emerges here from RRT iteration compute plus slow arm motion.
+"""
+
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.workloads.base import Workload
+
+ROCO = Workload(
+    config=SystemConfig(
+        name="roco",
+        paradigm="decentralized",
+        env_name="tabletop",
+        sensing_model="owl-vit",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(capacity_steps=30),
+        reflection_model="gpt-4",
+        execution_enabled=True,
+        default_agents=2,
+        embodied_type="Simulation (V)",
+    ),
+    application="Robot arm motion planning, manipulation",
+    datasets="RoCoBench",
+)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.clock import SimClock
+from repro.core.metrics import MetricsCollector
+from repro.core.modules.base import ModuleContext
+from repro.envs import make_env, make_task
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture
+def metrics() -> MetricsCollector:
+    return MetricsCollector(workload="test", horizon=50)
+
+
+@pytest.fixture
+def context(clock, metrics, rng) -> ModuleContext:
+    ctx = ModuleContext(agent="agent_0", clock=clock, metrics=metrics, rng=rng)
+    ctx.set_step(1)
+    return ctx
+
+
+def small_env(name: str, difficulty: str = "easy", n_agents: int = 1, seed: int = 0, **params):
+    """Convenience environment factory for tests."""
+    task = make_task(name, difficulty=difficulty, n_agents=n_agents, seed=seed, **params)
+    return make_env(task)
+
+
+@pytest.fixture
+def household_env():
+    return small_env("household")
+
+
+@pytest.fixture
+def transport_env():
+    return small_env("transport", n_agents=2)
+
+
+@pytest.fixture
+def boxworld_env():
+    return small_env("boxworld", n_agents=3)

@@ -1,0 +1,118 @@
+"""Tests for the virtual clock and latency attribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock
+
+
+class TestAdvance:
+    def test_advance_moves_time(self, clock):
+        clock.advance(2.5, ModuleName.PLANNING)
+        assert clock.now == pytest.approx(2.5)
+
+    def test_advance_records_span(self, clock):
+        span = clock.advance(1.0, ModuleName.SENSING, phase="vit", agent="a0")
+        assert span.module is ModuleName.SENSING
+        assert span.phase == "vit"
+        assert span.agent == "a0"
+        assert span.start == 0.0
+        assert span.end == pytest.approx(1.0)
+
+    def test_negative_duration_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance(-0.1, ModuleName.MEMORY)
+
+    def test_zero_duration_allowed(self, clock):
+        clock.advance(0.0, ModuleName.MEMORY)
+        assert clock.now == 0.0
+        assert len(clock.spans) == 1
+
+    def test_wait_moves_time_without_span(self, clock):
+        clock.wait(3.0)
+        assert clock.now == pytest.approx(3.0)
+        assert clock.spans == []
+
+    def test_wait_negative_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.wait(-1.0)
+
+
+class TestAttribution:
+    def test_elapsed_by_module_sums(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING)
+        clock.advance(2.0, ModuleName.PLANNING)
+        clock.advance(0.5, ModuleName.EXECUTION)
+        totals = clock.elapsed_by_module()
+        assert totals[ModuleName.PLANNING] == pytest.approx(3.0)
+        assert totals[ModuleName.EXECUTION] == pytest.approx(0.5)
+
+    def test_elapsed_by_phase(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING, phase="llm")
+        clock.advance(2.0, ModuleName.PLANNING, phase="retry")
+        totals = clock.elapsed_by_phase()
+        assert totals[(ModuleName.PLANNING, "llm")] == pytest.approx(1.0)
+        assert totals[(ModuleName.PLANNING, "retry")] == pytest.approx(2.0)
+
+    @given(durations=st.lists(st.floats(min_value=0.0, max_value=100.0), max_size=30))
+    def test_total_attribution_equals_now_when_sequential(self, durations):
+        clock = SimClock()
+        for index, duration in enumerate(durations):
+            module = MODULE_ORDER[index % len(MODULE_ORDER)]
+            clock.advance(duration, module)
+        assert sum(clock.elapsed_by_module().values()) == pytest.approx(clock.now)
+
+
+class TestParallel:
+    def test_parallel_takes_max(self, clock):
+        with clock.parallel():
+            clock.advance(2.0, ModuleName.SENSING, agent="a")
+            clock.advance(5.0, ModuleName.SENSING, agent="b")
+            clock.advance(1.0, ModuleName.SENSING, agent="c")
+        assert clock.now == pytest.approx(5.0)
+
+    def test_parallel_preserves_full_attribution(self, clock):
+        with clock.parallel():
+            clock.advance(2.0, ModuleName.EXECUTION)
+            clock.advance(3.0, ModuleName.EXECUTION)
+        assert clock.elapsed_by_module()[ModuleName.EXECUTION] == pytest.approx(5.0)
+
+    def test_parallel_after_sequential(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING)
+        with clock.parallel():
+            clock.advance(4.0, ModuleName.EXECUTION)
+            clock.advance(2.0, ModuleName.EXECUTION)
+        assert clock.now == pytest.approx(5.0)
+
+    def test_empty_parallel_scope_is_noop(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING)
+        with clock.parallel():
+            pass
+        assert clock.now == pytest.approx(1.0)
+
+    def test_nested_parallel(self, clock):
+        with clock.parallel():
+            clock.advance(2.0, ModuleName.EXECUTION)
+            with clock.parallel():
+                clock.advance(3.0, ModuleName.EXECUTION)
+        assert clock.now == pytest.approx(3.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING)
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.spans == []
+        assert clock.elapsed_by_module() == {}
+
+
+class TestConstants:
+    def test_module_order_covers_all_modules(self):
+        assert set(MODULE_ORDER) == set(ModuleName)
+
+    def test_llm_modules_subset(self):
+        assert LLM_MODULES <= set(ModuleName)
+        assert ModuleName.PLANNING in LLM_MODULES
+        assert ModuleName.EXECUTION not in LLM_MODULES

@@ -1,0 +1,129 @@
+"""Tests for system configuration and its transformations."""
+
+import pytest
+
+from repro.core.config import MemoryConfig, OptimizationConfig, SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+def single_agent_config(**overrides) -> SystemConfig:
+    base = dict(
+        name="probe",
+        paradigm="modular",
+        env_name="household",
+        planning_model="gpt-4",
+        sensing_model="vit",
+        memory=MemoryConfig(capacity_steps=20),
+        reflection_model="gpt-4",
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+def multi_agent_config(**overrides) -> SystemConfig:
+    base = dict(
+        name="probe-multi",
+        paradigm="decentralized",
+        env_name="transport",
+        planning_model="gpt-4",
+        communication_model="gpt-4",
+        memory=MemoryConfig(),
+        default_agents=2,
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+class TestValidation:
+    def test_unknown_paradigm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_agent_config(paradigm="swarm")
+
+    def test_multi_agent_needs_two_agents(self):
+        with pytest.raises(ConfigurationError):
+            multi_agent_config(default_agents=1)
+
+    def test_comm_free_multi_agent_allowed(self):
+        config = multi_agent_config(communication_model=None)
+        assert config.communication_model is None
+
+    def test_memory_capacity_positive(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(capacity_steps=0)
+
+    def test_optimization_validation(self):
+        with pytest.raises(ValueError):
+            OptimizationConfig(multistep_horizon=0)
+        with pytest.raises(ValueError):
+            OptimizationConfig(hierarchy_cluster_size=-1)
+
+
+class TestAblation:
+    @pytest.mark.parametrize(
+        "module", ["sensing", "communication", "memory", "reflection", "execution"]
+    )
+    def test_without_clears_module(self, module):
+        config = multi_agent_config(
+            sensing_model="vit", reflection_model="gpt-4"
+        ).without(module)
+        assert config.module_flags()[module] is False
+
+    def test_without_renames(self):
+        assert "no-memory" in single_agent_config().without("memory").name
+
+    def test_without_unknown_module_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_agent_config().without("planning")
+
+    def test_without_does_not_mutate_original(self):
+        config = single_agent_config()
+        config.without("memory")
+        assert config.memory is not None
+
+
+class TestTransforms:
+    def test_with_planner_swaps_comm_too(self):
+        config = multi_agent_config().with_planner("llama-3-8b")
+        assert config.planning_model == "llama-3-8b"
+        assert config.communication_model == "llama-3-8b"
+
+    def test_with_planner_keeps_missing_comm_absent(self):
+        config = single_agent_config().with_planner("llama-3-8b")
+        assert config.communication_model is None
+
+    def test_with_memory_capacity(self):
+        config = single_agent_config().with_memory_capacity(55)
+        assert config.memory is not None and config.memory.capacity_steps == 55
+
+    def test_with_memory_capacity_creates_memory_if_absent(self):
+        config = single_agent_config(memory=None).with_memory_capacity(10)
+        assert config.memory is not None
+
+    def test_with_agents(self):
+        assert multi_agent_config().with_agents(8).default_agents == 8
+
+    def test_with_agents_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            multi_agent_config().with_agents(0)
+
+    def test_with_optimizations(self):
+        config = single_agent_config().with_optimizations(multistep_horizon=3)
+        assert config.optimizations.multistep_horizon == 3
+
+
+class TestIntrospection:
+    def test_module_flags_shape(self):
+        flags = single_agent_config().module_flags()
+        assert set(flags) == {
+            "sensing",
+            "planning",
+            "communication",
+            "memory",
+            "reflection",
+            "execution",
+        }
+        assert flags["planning"] is True
+
+    def test_is_multi_agent(self):
+        assert multi_agent_config().is_multi_agent
+        assert not single_agent_config().is_multi_agent

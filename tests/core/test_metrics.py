@@ -1,0 +1,109 @@
+"""Tests for metrics collection and aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock
+from repro.core.errors import FaultKind
+from repro.core.metrics import EpisodeResult, MetricsCollector, aggregate
+from repro.core.types import StepRecord, Subgoal
+
+
+def build_result(
+    success=True,
+    steps=10,
+    sim_seconds=120.0,
+    planning=60.0,
+    execution=40.0,
+    messages=(4, 1),
+) -> EpisodeResult:
+    collector = MetricsCollector(workload="probe", horizon=50)
+    clock = SimClock()
+    clock.advance(planning, ModuleName.PLANNING)
+    clock.advance(execution, ModuleName.EXECUTION)
+    clock.wait(sim_seconds - planning - execution)
+    collector.record_llm_call(1, "a0", "plan", 500, 130)
+    collector.record_fault(FaultKind.SUBOPTIMAL)
+    for _ in range(messages[0]):
+        collector.record_message(useful=False)
+    for _ in range(messages[1]):
+        collector.record_message(useful=True)
+    collector.record_step(StepRecord(step=1, agent="a0", subgoal=Subgoal("x")))
+    return collector.finalize(clock, success=success, steps=steps, goal_progress=1.0)
+
+
+class TestEpisodeResult:
+    def test_sim_minutes(self):
+        assert build_result(sim_seconds=120.0).sim_minutes == pytest.approx(2.0)
+
+    def test_seconds_per_step(self):
+        result = build_result(sim_seconds=100.0, steps=10)
+        assert result.seconds_per_step == pytest.approx(10.0)
+
+    def test_llm_fraction(self):
+        result = build_result(planning=60.0, execution=40.0)
+        assert result.llm_fraction == pytest.approx(0.6)
+
+    def test_message_usefulness(self):
+        result = build_result(messages=(4, 1))
+        assert result.message_usefulness == pytest.approx(1 / 5)
+
+    def test_message_usefulness_no_messages(self):
+        assert build_result(messages=(0, 0)).message_usefulness == 0.0
+
+    def test_module_breakdown_sums_to_one(self):
+        breakdown = build_result().module_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert set(breakdown) == set(MODULE_ORDER)
+
+    def test_faults_recorded(self):
+        assert build_result().faults[FaultKind.SUBOPTIMAL] == 1
+
+
+class TestCollector:
+    def test_token_samples_recorded(self):
+        collector = MetricsCollector(workload="w", horizon=10)
+        collector.record_llm_call(3, "a1", "message", 200, 70)
+        sample = collector.token_samples[0]
+        assert (sample.step, sample.agent, sample.purpose) == (3, "a1", "message")
+
+    def test_none_fault_ignored(self):
+        collector = MetricsCollector(workload="w", horizon=10)
+        collector.record_fault(None)
+        assert not collector.faults
+
+
+class TestAggregate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([])
+
+    def test_success_rate(self):
+        results = [build_result(success=True), build_result(success=False)]
+        assert aggregate(results).success_rate == pytest.approx(0.5)
+
+    def test_mean_steps(self):
+        results = [build_result(steps=10), build_result(steps=20)]
+        assert aggregate(results).mean_steps == pytest.approx(15.0)
+
+    def test_message_usefulness_pools_counts(self):
+        results = [build_result(messages=(9, 1)), build_result(messages=(0, 10))]
+        assert aggregate(results).message_usefulness == pytest.approx(11 / 20)
+
+    def test_mean_messages_sent(self):
+        results = [build_result(messages=(3, 1)), build_result(messages=(5, 1))]
+        assert aggregate(results).mean_messages_sent == pytest.approx(5.0)
+
+    @settings(max_examples=20)
+    @given(
+        flags=st.lists(st.booleans(), min_size=1, max_size=10),
+    )
+    def test_success_rate_bounded(self, flags):
+        results = [build_result(success=flag) for flag in flags]
+        assert 0.0 <= aggregate(results).success_rate <= 1.0
+
+    def test_module_breakdown_normalized(self):
+        results = [build_result(), build_result(planning=10.0, execution=80.0)]
+        breakdown = aggregate(results).module_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)

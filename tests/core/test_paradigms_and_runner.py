@@ -1,0 +1,201 @@
+"""Integration tests: paradigm loops, agent assembly, and the runners."""
+
+import pytest
+
+from repro.core.agent import AgentState, EmbodiedAgent, FAULT_REPEAT_CAP
+from repro.core.config import MemoryConfig, SystemConfig
+from repro.core.metrics import EpisodeResult
+from repro.core.paradigms import PARADIGM_LOOPS
+from repro.core.paradigms.decentralized import dialogue_rounds
+from repro.core.runner import build_loop, build_task, run_episode, run_trials
+from repro.core.types import Decision, Subgoal
+from repro.workloads import get_workload
+
+
+def modular_config(**overrides):
+    base = dict(
+        name="mini-modular",
+        paradigm="modular",
+        env_name="household",
+        planning_model="gpt-4",
+        sensing_model="vit",
+        memory=MemoryConfig(capacity_steps=20),
+        reflection_model="gpt-4",
+    )
+    base.update(overrides)
+    return SystemConfig(**base)
+
+
+class TestLoopsRun:
+    @pytest.mark.parametrize("workload", ["jarvis-1", "mindagent", "coela", "hmas", "embodiedgpt"])
+    def test_suite_workloads_produce_results(self, workload):
+        result = run_episode(get_workload(workload).config, seed=0, difficulty="easy")
+        assert isinstance(result, EpisodeResult)
+        assert result.steps >= 1
+        assert result.sim_seconds > 0
+        assert result.llm_calls > 0
+
+    def test_all_paradigm_loops_registered(self):
+        assert set(PARADIGM_LOOPS) == {
+            "modular",
+            "end_to_end",
+            "centralized",
+            "decentralized",
+            "hybrid",
+        }
+
+    def test_end_to_end_paradigm_runs(self):
+        config = SystemConfig(
+            name="mini-vla",
+            paradigm="end_to_end",
+            env_name="kitchen",
+            planning_model="vla-rt2",
+            sensing_model=None,
+        )
+        result = run_episode(config, seed=1, difficulty="easy")
+        assert result.steps >= 1
+
+    def test_success_stops_early(self):
+        result = run_episode(modular_config(), seed=2, difficulty="easy")
+        if result.success:
+            assert result.steps < result.horizon
+
+
+class TestDeterminism:
+    def test_same_seed_identical_metrics(self):
+        config = get_workload("coela").config
+        a = run_episode(config, seed=11, difficulty="easy")
+        b = run_episode(config, seed=11, difficulty="easy")
+        assert a.sim_seconds == pytest.approx(b.sim_seconds)
+        assert a.steps == b.steps
+        assert a.success == b.success
+        assert a.prompt_tokens == b.prompt_tokens
+
+    def test_different_seeds_vary(self):
+        config = get_workload("coela").config
+        times = {run_episode(config, seed=s, difficulty="easy").sim_seconds for s in range(4)}
+        assert len(times) > 1
+
+
+class TestRunner:
+    def test_build_task_uses_config_defaults(self):
+        config = get_workload("cmas").config
+        task = build_task(config)
+        assert task.env_name == "boxworld"
+        assert task.n_agents == config.default_agents
+
+    def test_build_task_overrides(self):
+        config = get_workload("cmas").config
+        task = build_task(config, difficulty="hard", n_agents=6, horizon=33)
+        assert (task.difficulty, task.n_agents, task.horizon) == ("hard", 6, 33)
+
+    def test_run_trials_aggregates(self):
+        config = modular_config()
+        result = run_trials(config, n_trials=3, difficulty="easy")
+        assert result.n_trials == 3
+        assert 0.0 <= result.success_rate <= 1.0
+
+    def test_run_trials_validates_count(self):
+        with pytest.raises(ValueError):
+            run_trials(modular_config(), n_trials=0)
+
+    def test_hierarchy_override_selects_loop(self):
+        from repro.optim import HierarchicalLoop, with_hierarchy
+
+        config = with_hierarchy(get_workload("mindagent").config.with_agents(4), 2)
+        loop = build_loop(config, build_task(config, difficulty="easy"), seed=0)
+        assert isinstance(loop, HierarchicalLoop)
+
+
+class TestAgentState:
+    def test_blacklist_ttl(self):
+        state = AgentState()
+        state.add_blacklist(Subgoal("fetch", target="mug"), step=5)
+        assert Subgoal("fetch", target="mug") in state.blacklisted(step=7)
+        assert Subgoal("fetch", target="mug") not in state.blacklisted(step=20)
+
+    def test_repeat_fault_requires_uncorrected(self, rng):
+        state = AgentState()
+        decision = Decision(
+            subgoal=Subgoal("good"), fault=None, prompt_tokens=0, output_tokens=0, latency=0
+        )
+        assert state.maybe_repeat_fault(decision, rng) is decision
+
+    def test_repeat_fault_overrides_subgoal(self, rng):
+        from repro.core.errors import FaultKind
+
+        state = AgentState()
+        bad = Decision(
+            subgoal=Subgoal("bad"),
+            fault=FaultKind.SUBOPTIMAL,
+            prompt_tokens=0,
+            output_tokens=0,
+            latency=0,
+        )
+        state.note_outcome(bad, wasted=True, corrected=False)
+        fresh = Decision(
+            subgoal=Subgoal("good"), fault=None, prompt_tokens=0, output_tokens=0, latency=0
+        )
+        repeats = sum(
+            1
+            for _ in range(100)
+            if state.maybe_repeat_fault(fresh, rng).subgoal == Subgoal("bad")
+        )
+        assert repeats > 50
+
+    def test_correction_clears_repetition(self, rng):
+        from repro.core.errors import FaultKind
+
+        state = AgentState()
+        bad = Decision(
+            subgoal=Subgoal("bad"),
+            fault=FaultKind.SUBOPTIMAL,
+            prompt_tokens=0,
+            output_tokens=0,
+            latency=0,
+        )
+        state.note_outcome(bad, wasted=True, corrected=False)
+        state.note_outcome(bad, wasted=True, corrected=True)
+        fresh = Decision(
+            subgoal=Subgoal("good"), fault=None, prompt_tokens=0, output_tokens=0, latency=0
+        )
+        assert state.maybe_repeat_fault(fresh, rng) is fresh
+
+    def test_repetition_caps(self, rng):
+        from repro.core.errors import FaultKind
+
+        state = AgentState()
+        bad = Decision(
+            subgoal=Subgoal("bad"),
+            fault=FaultKind.REPEATED,
+            prompt_tokens=0,
+            output_tokens=0,
+            latency=0,
+        )
+        for _ in range(FAULT_REPEAT_CAP + 2):
+            state.note_outcome(bad, wasted=True, corrected=False)
+        fresh = Decision(
+            subgoal=Subgoal("good"), fault=None, prompt_tokens=0, output_tokens=0, latency=0
+        )
+        assert state.maybe_repeat_fault(fresh, rng) is fresh
+
+
+class TestDialogueRounds:
+    def test_grows_with_team_size(self):
+        assert dialogue_rounds(2) == 1
+        assert dialogue_rounds(6) >= dialogue_rounds(2)
+        assert dialogue_rounds(12) > dialogue_rounds(4)
+
+
+class TestAblationsRun:
+    @pytest.mark.parametrize("module", ["communication", "memory", "reflection", "execution"])
+    def test_hmas_ablations_run(self, module):
+        config = get_workload("hmas").config.without(module)
+        result = run_episode(config, seed=0, difficulty="easy")
+        assert result.steps >= 1
+
+    def test_no_exec_hits_step_limit_more(self):
+        config = get_workload("jarvis-1").config
+        baseline = run_episode(config, seed=3, difficulty="easy")
+        crippled = run_episode(config.without("execution"), seed=3, difficulty="easy")
+        assert crippled.steps >= baseline.steps

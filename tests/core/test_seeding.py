@@ -1,0 +1,66 @@
+"""Tests for deterministic seed derivation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.seeding import derive_seed, rng_for, spawn_trial_seeds
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "llm") == derive_seed(42, "llm")
+
+    def test_labels_differentiate(self):
+        assert derive_seed(42, "llm") != derive_seed(42, "env")
+
+    def test_base_seed_differentiates(self):
+        assert derive_seed(1, "llm") != derive_seed(2, "llm")
+
+    def test_label_path_order_matters(self):
+        assert derive_seed(0, "a", "b") != derive_seed(0, "b", "a")
+
+    def test_integer_labels_accepted(self):
+        assert derive_seed(0, 1, 2) == derive_seed(0, 1, 2)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32), label=st.text(max_size=20))
+    def test_result_is_u64(self, seed, label):
+        value = derive_seed(seed, label)
+        assert 0 <= value < 2**64
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_no_label_collision_across_common_streams(self, seed):
+        streams = {derive_seed(seed, name) for name in ("env", "llm", "comm", "modules")}
+        assert len(streams) == 4
+
+
+class TestRngFor:
+    def test_same_stream_same_draws(self):
+        a = rng_for(7, "x").random(5)
+        b = rng_for(7, "x").random(5)
+        assert (a == b).all()
+
+    def test_different_stream_different_draws(self):
+        a = rng_for(7, "x").random(5)
+        b = rng_for(7, "y").random(5)
+        assert not (a == b).all()
+
+
+class TestSpawnTrialSeeds:
+    def test_count(self):
+        assert len(spawn_trial_seeds(0, 10)) == 10
+
+    def test_unique(self):
+        seeds = spawn_trial_seeds(0, 50)
+        assert len(set(seeds)) == 50
+
+    def test_deterministic(self):
+        assert spawn_trial_seeds(3, 5) == spawn_trial_seeds(3, 5)
+
+    def test_zero_trials(self):
+        assert spawn_trial_seeds(0, 0) == []
+
+    def test_negative_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            spawn_trial_seeds(0, -1)

@@ -1,0 +1,81 @@
+"""Tests for the shared room-grid geometry."""
+
+import numpy as np
+import pytest
+
+from repro.envs.grid import Room, RoomGrid, build_row_of_rooms
+
+
+class TestRoom:
+    def test_contains(self):
+        room = Room(name="kitchen", x0=0, y0=0, x1=3, y1=3)
+        assert room.contains((0, 0))
+        assert room.contains((2, 2))
+        assert not room.contains((3, 0))
+
+    def test_center_inside(self):
+        room = Room(name="k", x0=0, y0=0, x1=5, y1=5)
+        assert room.contains(room.center())
+
+    def test_cells_count(self):
+        room = Room(name="k", x0=0, y0=0, x1=3, y1=2)
+        assert len(room.cells()) == 6
+
+
+class TestBuildRowOfRooms:
+    def test_room_count(self):
+        grid = build_row_of_rooms(["a", "b", "c"])
+        assert grid.room_names() == ["a", "b", "c"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            RoomGrid(width=4, height=4, rooms=[
+                Room("a", 0, 0, 2, 2), Room("a", 2, 0, 4, 2)
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_row_of_rooms([])
+
+    def test_doorways_connect_adjacent_rooms(self):
+        grid = build_row_of_rooms(["a", "b", "c"])
+        start = grid.room_named("a").center()
+        goal = grid.room_named("c").center()
+        result = grid.path(start, goal)
+        assert result.found
+
+    def test_walls_block_non_doorway_cells(self):
+        grid = build_row_of_rooms(["a", "b"], room_width=3, room_height=3)
+        # Wall column sits at x=3 with a doorway at y=1.
+        assert not grid.passable((3, 0))
+        assert grid.passable((3, 1))
+        assert not grid.passable((3, 2))
+
+    def test_room_of(self):
+        grid = build_row_of_rooms(["a", "b"])
+        assert grid.room_of((0, 0)) == "a"
+        assert grid.room_of((6, 0)) == "b"
+        assert grid.room_of((5, 0)) is None  # wall column
+
+    def test_unknown_room_raises(self):
+        grid = build_row_of_rooms(["a"])
+        with pytest.raises(KeyError):
+            grid.room_named("z")
+
+    def test_random_cell_in_room(self):
+        grid = build_row_of_rooms(["a", "b"])
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            cell = grid.random_cell_in("b", rng)
+            assert grid.room_of(cell) == "b"
+
+    def test_paths_between_all_room_pairs(self):
+        grid = build_row_of_rooms(["a", "b", "c", "d"])
+        names = grid.room_names()
+        for origin in names:
+            for destination in names:
+                result = grid.path(
+                    grid.room_named(origin).center(),
+                    grid.room_named(destination).center(),
+                )
+                assert result.found

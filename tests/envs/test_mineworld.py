@@ -1,0 +1,183 @@
+"""Behavioural tests for the mineworld crafting environment."""
+
+import numpy as np
+import pytest
+
+from repro.core.beliefs import Beliefs
+from repro.core.types import Fact, Subgoal
+from repro.envs import make_env, make_task
+from repro.envs.mineworld import (
+    GATHER_TOOL,
+    RECIPES,
+    requirement_closure,
+)
+
+
+def build(difficulty="easy", seed=0, **params):
+    env = make_env(make_task("mineworld", difficulty=difficulty, seed=seed, **params))
+    env.tick()
+    return env
+
+
+class TestRequirementClosure:
+    def test_includes_recipe_chain(self):
+        needed = requirement_closure("stone_pickaxe")
+        assert {"stone_pickaxe", "stick", "planks", "crafting_table"} <= needed
+
+    def test_includes_tool_dependencies(self):
+        """Mining cobblestone needs the wooden pickaxe even though no
+        recipe lists it — the bug class this regression test pins."""
+        assert "wooden_pickaxe" in requirement_closure("stone_pickaxe")
+        assert "stone_pickaxe" in requirement_closure("iron_pickaxe")
+        assert "iron_pickaxe" in requirement_closure("diamond_pickaxe")
+
+    def test_diamond_closure_is_superset_of_iron(self):
+        assert requirement_closure("iron_pickaxe") <= requirement_closure(
+            "diamond_pickaxe"
+        )
+
+
+class TestCraftingFlow:
+    def _player(self, env):
+        return env._players["agent_0"]
+
+    def test_gather_requires_tool_tier(self, rng):
+        env = build()
+        outcome = env.execute("agent_0", Subgoal(name="gather", target="cobblestone"), rng)
+        assert not outcome.success
+        assert "wooden_pickaxe" in outcome.reason
+
+    def test_gather_log_works_bare_handed(self, rng):
+        env = build()
+        outcome = env.execute("agent_0", Subgoal(name="gather", target="log"), rng)
+        assert outcome.success
+        assert self._player(env).count("log") >= 1
+
+    def test_craft_requires_ingredients(self, rng):
+        env = build()
+        outcome = env.execute("agent_0", Subgoal(name="craft", target="planks"), rng)
+        assert not outcome.success
+
+    def test_full_chain_to_wooden_pickaxe(self, rng):
+        env = build()
+        player = self._player(env)
+        for _ in range(4):
+            env.execute("agent_0", Subgoal(name="gather", target="log"), rng)
+        for _ in range(6):
+            env.execute("agent_0", Subgoal(name="craft", target="planks"), rng)
+        for _ in range(2):
+            env.execute("agent_0", Subgoal(name="craft", target="stick"), rng)
+        env.execute("agent_0", Subgoal(name="craft", target="crafting_table"), rng)
+        outcome = env.execute("agent_0", Subgoal(name="craft", target="wooden_pickaxe"), rng)
+        assert outcome.success, (outcome.reason, dict(player.inventory))
+        assert player.count("wooden_pickaxe") == 1
+
+    def test_goal_craft_completes_task(self, rng):
+        env = build(goal_item="planks")
+        env.execute("agent_0", Subgoal(name="gather", target="log"), rng)
+        outcome = env.execute("agent_0", Subgoal(name="craft", target="planks"), rng)
+        assert outcome.success
+        assert env.is_success()
+
+    def test_stations_not_consumed(self, rng):
+        env = build()
+        player = self._player(env)
+        player.add("planks", 10)
+        player.add("stick", 10)
+        env.execute("agent_0", Subgoal(name="craft", target="crafting_table"), rng)
+        env.execute("agent_0", Subgoal(name="craft", target="wooden_pickaxe"), rng)
+        assert player.count("crafting_table") == 1
+
+
+class TestSearchGather:
+    def test_search_variant_can_fail(self):
+        env = build(seed=1)
+        rng = np.random.default_rng(0)
+        outcomes = [
+            env.execute(
+                "agent_0",
+                Subgoal(name="gather", target="log", destination="search"),
+                rng,
+            )
+            for _ in range(20)
+        ]
+        assert any(not o.success for o in outcomes)
+        assert any(o.success for o in outcomes)
+
+    def test_known_deposit_gather_never_roams(self, rng):
+        env = build(seed=1)
+        for _ in range(10):
+            outcome = env.execute("agent_0", Subgoal(name="gather", target="log"), rng)
+            assert outcome.success
+
+
+class TestCandidates:
+    def test_unknown_deposit_offers_search_gather(self):
+        env = build()
+        beliefs = Beliefs.from_facts(env.static_facts())
+        candidates = env.candidates("agent_0", beliefs)
+        searches = [
+            c
+            for c in candidates
+            if c.subgoal.name == "gather" and c.subgoal.destination == "search"
+        ]
+        assert searches
+
+    def test_known_deposit_upgrades_utility(self):
+        env = build()
+        beliefs = Beliefs.from_facts(env.static_facts())
+        beliefs.update(
+            [Fact("log_deposit", "located_in", env.deposit_area["log"], step=1)]
+        )
+        candidates = env.candidates("agent_0", beliefs)
+        direct = [
+            c
+            for c in candidates
+            if c.subgoal.name == "gather"
+            and c.subgoal.target == "log"
+            and c.subgoal.destination != "search"
+        ]
+        assert direct and direct[0].utility > 0.6
+
+    def test_unneeded_craft_is_low_utility_bait(self, rng):
+        env = build(goal_item="planks")
+        player = env._players["agent_0"]
+        player.add("log", 10)
+        player.add("planks", 5)
+        candidates = env.candidates("agent_0", Beliefs())
+        # planks goal already satisfied -> further planks crafting is bait
+        bait = [c for c in candidates if c.subgoal == Subgoal("craft", "planks")]
+        if bait:
+            assert bait[0].utility <= 0.2
+
+
+class TestDifficultyGoals:
+    @pytest.mark.parametrize(
+        "difficulty,goal",
+        [("easy", "stone_pickaxe"), ("medium", "iron_pickaxe"), ("hard", "diamond_pickaxe")],
+    )
+    def test_goal_by_difficulty(self, difficulty, goal):
+        assert build(difficulty=difficulty).goal_item == goal
+
+    def test_invalid_goal_item_rejected(self):
+        with pytest.raises(ValueError):
+            build(goal_item="unobtainium")
+
+
+class TestRecipeTable:
+    def test_all_gatherables_have_areas_and_tools(self):
+        for resource in ("log", "cobblestone", "iron_ore", "diamond"):
+            assert resource in GATHER_TOOL
+
+    def test_recipes_form_dag(self):
+        # Kahn's check: repeatedly remove items with no craftable deps.
+        remaining = dict(RECIPES)
+        while remaining:
+            removable = [
+                item
+                for item, recipe in remaining.items()
+                if all(ingredient not in remaining for ingredient in recipe)
+            ]
+            assert removable, f"cycle among {sorted(remaining)}"
+            for item in removable:
+                del remaining[item]

@@ -1,0 +1,83 @@
+"""Smoke and shape tests for the figure experiment harnesses.
+
+These run with a single trial (fast) and assert structural properties —
+every cell present, applicability marked correctly, renders non-empty —
+plus the cheap directional claims.  Full-shape verification lives in the
+benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import fig3_sensitivity, fig6_tokens
+from repro.experiments.common import ExperimentSettings, measure, trials_from_env
+from repro.workloads import get_workload
+
+FAST = ExperimentSettings(n_trials=1, base_seed=3, difficulty="easy")
+
+
+class TestCommon:
+    def test_trials_from_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRIALS", raising=False)
+        assert trials_from_env(7) == 7
+
+    def test_trials_from_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "3")
+        assert trials_from_env() == 3
+
+    def test_trials_from_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "zero")
+        with pytest.raises(ValueError):
+            trials_from_env()
+        monkeypatch.setenv("REPRO_TRIALS", "0")
+        with pytest.raises(ValueError):
+            trials_from_env()
+
+    def test_measure_runs(self):
+        result = measure(get_workload("embodiedgpt").config, FAST)
+        assert result.n_trials == 1
+
+
+class TestFig3Structure:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3_sensitivity.run(
+            ExperimentSettings(n_trials=1, base_seed=5, difficulty="easy")
+        )
+
+    def test_all_cells_present(self, result):
+        for subject in fig3_sensitivity.SUBJECTS:
+            result.cell(subject, "baseline")
+            for ablation in fig3_sensitivity.ABLATIONS:
+                result.cell(subject, ablation)
+
+    def test_not_applicable_matches_paper(self, result):
+        assert not result.cell("jarvis-1", "communication").applicable
+        assert not result.cell("coela", "reflection").applicable
+        assert not result.cell("combo", "reflection").applicable
+        assert result.cell("roco", "reflection").applicable
+
+    def test_render_contains_na(self, result):
+        text = fig3_sensitivity.render(result)
+        assert "N/A" in text
+        assert "w/o execution" in text
+
+    def test_exec_ablation_catastrophic(self, result):
+        assert result.mean_success_drop("execution") > 30.0
+
+
+class TestFig6Structure:
+    def test_token_series_growth(self):
+        result = fig6_tokens.run(ExperimentSettings(n_trials=1, base_seed=2))
+        for trace in result.traces:
+            assert trace.series, trace.workload
+            plan_slopes = [
+                slope for name, slope in trace.slopes.items() if name.endswith(":plan")
+            ]
+            # Prompt growth: at least one agent's plan prompts must grow.
+            assert max(plan_slopes) > 0, trace.workload
+
+    def test_render(self):
+        result = fig6_tokens.run(ExperimentSettings(n_trials=1, base_seed=2))
+        text = fig6_tokens.render(result)
+        assert "prompt tokens" in text
+        assert "tok/step" in text

@@ -1,0 +1,80 @@
+"""Tests for structured prompt assembly."""
+
+from repro.core.types import Candidate, Fact, Message, Observation, Subgoal
+from repro.llm.prompt import Prompt, PromptBuilder
+
+
+class TestPrompt:
+    def test_empty_prompt(self):
+        prompt = Prompt()
+        assert prompt.tokens == 0
+        assert prompt.render() == ""
+
+    def test_add_skips_empty_text(self):
+        prompt = Prompt().add("a", "").add("b", "hello")
+        assert [section.name for section in prompt.sections] == ["b"]
+
+    def test_tokens_sum_sections(self):
+        prompt = Prompt().add("a", "one two").add("b", "three")
+        assert prompt.tokens == sum(section.tokens for section in prompt.sections)
+
+    def test_tokens_by_section_merges_same_name(self):
+        prompt = Prompt().add("x", "one").add("x", "two three")
+        by_section = prompt.tokens_by_section()
+        assert set(by_section) == {"x"}
+        assert by_section["x"] == prompt.tokens
+
+    def test_render_contains_headers(self):
+        text = Prompt().add("system", "be good").render()
+        assert "[system]" in text and "be good" in text
+
+
+class TestPromptBuilder:
+    def test_full_pipeline(self):
+        observation = Observation(
+            agent="a0",
+            step=1,
+            position="kitchen",
+            facts=(Fact("mug", "located_in", "kitchen"),),
+        )
+        message = Message(sender="a1", recipients=("a0",), step=1, text="hi there")
+        candidates = [Candidate(subgoal=Subgoal("fetch", target="mug"), utility=1.0)]
+        prompt = (
+            PromptBuilder(system_text="sys", task_text="task")
+            .observation(observation)
+            .memory([Fact("book", "located_in", "study")])
+            .dialogue([message])
+            .candidates(candidates)
+            .build()
+        )
+        names = [section.name for section in prompt.sections]
+        assert names == ["system", "task", "observation", "memory", "dialogue", "candidates"]
+
+    def test_empty_inputs_skip_sections(self):
+        prompt = (
+            PromptBuilder()
+            .observation(None)
+            .memory([])
+            .dialogue([])
+            .candidates([])
+            .build()
+        )
+        assert prompt.sections == []
+
+    def test_candidates_enumerated(self):
+        candidates = [
+            Candidate(subgoal=Subgoal("fetch", target="mug"), utility=1.0),
+            Candidate(subgoal=Subgoal("explore", target="hall"), utility=0.4),
+        ]
+        prompt = PromptBuilder().candidates(candidates).build()
+        text = prompt.render()
+        assert "(0)" in text and "(1)" in text
+
+    def test_dialogue_grows_tokens(self):
+        messages = [
+            Message(sender="a1", recipients=(), step=i, text=f"message number {i} with content")
+            for i in range(5)
+        ]
+        short = PromptBuilder().dialogue(messages[:1]).build().tokens
+        long = PromptBuilder().dialogue(messages).build().tokens
+        assert long > short

@@ -1,0 +1,124 @@
+"""Tests for the simulated LLM engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import Candidate, Subgoal
+from repro.llm.behavior import DecisionRequest
+from repro.llm.prompt import PromptBuilder
+from repro.llm.simulated import OUTPUT_TOKENS, SimulatedLLM
+
+
+def make_llm(profile="gpt-4", seed=0) -> SimulatedLLM:
+    return SimulatedLLM(profile, rng=np.random.default_rng(seed))
+
+
+def simple_prompt(words: int = 50):
+    return PromptBuilder(system_text="system words " * 3).extra(
+        "body", "word " * words
+    ).build()
+
+
+def simple_request():
+    return DecisionRequest(
+        candidates=[
+            Candidate(subgoal=Subgoal("good"), utility=1.0),
+            Candidate(subgoal=Subgoal("meh"), utility=0.4),
+        ]
+    )
+
+
+class TestDecide:
+    def test_decision_carries_latency_and_tokens(self):
+        llm = make_llm()
+        prompt = simple_prompt()
+        decision = llm.decide(simple_request(), prompt)
+        assert decision.prompt_tokens == prompt.tokens
+        assert decision.output_tokens == OUTPUT_TOKENS["plan"]
+        assert decision.latency > 0
+
+    def test_latency_matches_profile_for_clean_call(self):
+        llm = make_llm()
+        prompt = simple_prompt()
+        decision = llm.decide(simple_request(), prompt)
+        per_call = llm.profile.call_latency(prompt.tokens, decision.output_tokens)
+        assert decision.latency == pytest.approx(per_call * (1 + decision.retries))
+
+    def test_purpose_changes_output_tokens(self):
+        llm = make_llm()
+        decision = llm.decide(simple_request(), simple_prompt(), purpose="action_selection")
+        assert decision.output_tokens == OUTPUT_TOKENS["action_selection"]
+
+    def test_accounting_accumulates(self):
+        llm = make_llm()
+        for _ in range(3):
+            llm.decide(simple_request(), simple_prompt())
+        assert llm.calls >= 3
+        assert llm.total_prompt_tokens >= 3 * simple_prompt().tokens
+
+
+class TestGenerate:
+    def test_generation_result(self):
+        llm = make_llm()
+        result = llm.generate(simple_prompt(), purpose="message")
+        assert result.output_tokens == OUTPUT_TOKENS["message"]
+        assert result.latency > 0
+
+    def test_unknown_purpose_defaults(self):
+        llm = make_llm()
+        result = llm.generate(simple_prompt(), purpose="mystery")
+        assert result.output_tokens == OUTPUT_TOKENS["message"]
+
+
+class TestJudge:
+    def test_strong_judge_detects_failures(self):
+        llm = make_llm()
+        hits = sum(1 for _ in range(200) if llm.judge(simple_prompt(), True)[0])
+        assert hits > 150
+
+    def test_strong_judge_rarely_flags_success(self):
+        llm = make_llm()
+        false_alarms = sum(1 for _ in range(200) if llm.judge(simple_prompt(), False)[0])
+        assert false_alarms < 20
+
+    def test_judge_charges_generation(self):
+        llm = make_llm()
+        _verdict, result = llm.judge(simple_prompt(), True)
+        assert result.output_tokens == OUTPUT_TOKENS["reflection"]
+
+
+class TestBatchedDecide:
+    def test_batch_shares_latency(self):
+        llm = make_llm("llava-7b")
+        requests = [simple_request() for _ in range(4)]
+        prompts = [simple_prompt() for _ in range(4)]
+        decisions = llm.batched_decide(requests, prompts)
+        assert len(decisions) == 4
+        assert len({d.latency for d in decisions}) == 1
+
+    def test_batch_cheaper_than_serial(self):
+        llm = make_llm("llava-7b")
+        prompts = [simple_prompt() for _ in range(4)]
+        requests = [simple_request() for _ in range(4)]
+        batch_latency = llm.batched_decide(requests, prompts)[0].latency
+        serial = 4 * llm.profile.call_latency(prompts[0].tokens, OUTPUT_TOKENS["plan"])
+        assert batch_latency < serial
+
+    def test_empty_batch(self):
+        assert make_llm().batched_decide([], []) == []
+
+    def test_mismatched_lengths_rejected(self):
+        llm = make_llm()
+        with pytest.raises(ValueError):
+            llm.batched_decide([simple_request()], [])
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = make_llm(seed=9)
+        b = make_llm(seed=9)
+        for _ in range(10):
+            da = a.decide(simple_request(), simple_prompt())
+            db = b.decide(simple_request(), simple_prompt())
+            assert da.subgoal == db.subgoal
+            assert da.fault == db.fault

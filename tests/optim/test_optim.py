@@ -1,0 +1,145 @@
+"""Tests for the optimization recommendations and the hierarchy loop."""
+
+import pytest
+
+from repro.core.runner import run_episode
+from repro.optim import (
+    RECOMMENDATIONS,
+    cluster_agents,
+    with_batching,
+    with_comm_filter,
+    with_dual_memory,
+    with_hierarchy,
+    with_mlc_runtime,
+    with_multistep_planning,
+    with_plan_then_comm,
+    with_quantization,
+)
+from repro.workloads import get_workload
+
+
+class TestTransforms:
+    def test_multistep_sets_horizon(self):
+        config = with_multistep_planning(get_workload("jarvis-1").config, 4)
+        assert config.optimizations.multistep_horizon == 4
+
+    def test_plan_then_comm_flag(self):
+        config = with_plan_then_comm(get_workload("coela").config)
+        assert config.optimizations.plan_then_comm
+
+    def test_comm_filter_flag(self):
+        config = with_comm_filter(get_workload("dmas").config)
+        assert config.optimizations.comm_filter
+
+    def test_hierarchy_rejects_single_agent(self):
+        with pytest.raises(ValueError):
+            with_hierarchy(get_workload("jarvis-1").config)
+
+    def test_dual_memory_sets_flag(self):
+        config = with_dual_memory(get_workload("coela").config)
+        assert config.memory is not None and config.memory.dual
+
+    def test_quantization_and_runtime_flags(self):
+        config = with_mlc_runtime(with_quantization(get_workload("combo").config))
+        assert config.optimizations.quantization == "awq"
+        assert config.optimizations.runtime == "mlc"
+
+    def test_registry_complete(self):
+        assert set(RECOMMENDATIONS) == {
+            "multistep_planning",
+            "plan_then_comm",
+            "comm_filter",
+            "hierarchy",
+            "batching",
+            "quantization",
+            "mlc_runtime",
+            "dual_memory",
+        }
+
+
+class TestClusterPartition:
+    def test_partition_sizes(self):
+        agents = list(range(10))
+        clusters = cluster_agents(agents, 3)
+        assert [len(c) for c in clusters] == [3, 3, 3, 1]
+
+    def test_partition_preserves_all(self):
+        agents = list(range(7))
+        clusters = cluster_agents(agents, 4)
+        assert [a for cluster in clusters for a in cluster] == agents
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            cluster_agents([1, 2], 0)
+
+
+class TestOptimizationEffects:
+    """The directional claims of the paper's recommendations."""
+
+    def test_multistep_reduces_planning_calls_per_step(self):
+        def plan_calls_per_step(config) -> float:
+            calls = steps = 0
+            for seed in range(3):
+                result = run_episode(config, seed=seed, difficulty="easy")
+                calls += sum(
+                    1 for sample in result.token_samples if sample.purpose == "plan"
+                )
+                steps += result.steps
+            return calls / max(1, steps)
+
+        base = get_workload("jarvis-1").config
+        assert plan_calls_per_step(
+            with_multistep_planning(base, 3)
+        ) < plan_calls_per_step(base)
+
+    def test_quantization_reduces_latency_for_local_models(self):
+        base = get_workload("combo").config
+        baseline = run_episode(base, seed=4, difficulty="easy")
+        optimized = run_episode(with_quantization(base), seed=4, difficulty="easy")
+        assert optimized.sim_seconds < baseline.sim_seconds * 1.05
+
+    def test_comm_filter_reduces_messages(self):
+        base = get_workload("dmas").config
+        baseline = sum(
+            run_episode(base, seed=s, difficulty="easy").messages_sent for s in range(3)
+        )
+        optimized = sum(
+            run_episode(with_comm_filter(base), seed=s, difficulty="easy").messages_sent
+            for s in range(3)
+        )
+        assert optimized <= baseline
+
+    def test_plan_then_comm_reduces_messages(self):
+        base = get_workload("coela").config
+        baseline = sum(
+            run_episode(base, seed=s, difficulty="easy").messages_sent for s in range(3)
+        )
+        optimized = sum(
+            run_episode(with_plan_then_comm(base), seed=s, difficulty="easy").messages_sent
+            for s in range(3)
+        )
+        assert optimized <= baseline
+
+    def test_hierarchy_runs_at_scale(self):
+        config = with_hierarchy(get_workload("mindagent").config.with_agents(6), 3)
+        result = run_episode(config, seed=0, difficulty="easy")
+        assert result.steps >= 1
+
+    def test_batching_runs_for_local_decentralized(self):
+        config = with_batching(get_workload("combo").config)
+        result = run_episode(config, seed=0, difficulty="easy")
+        assert result.steps >= 1
+
+    def test_dual_memory_cuts_retrieval_latency(self):
+        from repro.core.clock import ModuleName
+
+        base = get_workload("coela").config.with_memory_capacity(60)
+        baseline = run_episode(base, seed=5, difficulty="easy")
+        optimized = run_episode(with_dual_memory(base), seed=5, difficulty="easy")
+        base_mem = baseline.module_seconds.get(ModuleName.MEMORY, 0.0) / max(
+            1, baseline.steps
+        )
+        opt_mem = optimized.module_seconds.get(ModuleName.MEMORY, 0.0) / max(
+            1, optimized.steps
+        )
+        assert opt_mem <= base_mem

@@ -1,0 +1,89 @@
+"""Tests for the perception substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import UnknownModelError
+from repro.core.types import Fact
+from repro.perception.detector import detect
+from repro.perception.models import (
+    PerceptionProfile,
+    get_perception,
+    list_perception_profiles,
+)
+
+
+def facts(n=10):
+    return [Fact(f"obj_{i}", "located_in", "room_a", step=1) for i in range(n)]
+
+
+class TestRegistry:
+    def test_expected_profiles(self):
+        names = list_perception_profiles()
+        for expected in ("vit", "mineclip", "mask-rcnn", "dino", "vild", "pointcloud",
+                         "symbolic", "owl-vit", "diffusion-world-model"):
+            assert expected in names
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownModelError):
+            get_perception("lidar-9000")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerceptionProfile(name="x", latency_s=0.1, recall=0.0, mislabel_rate=0.0, modality="rgb")
+        with pytest.raises(ValueError):
+            PerceptionProfile(name="x", latency_s=0.1, recall=0.9, mislabel_rate=1.0, modality="rgb")
+
+
+class TestDetection:
+    def test_symbolic_is_perfect(self, rng):
+        ground = facts()
+        result = detect(ground, get_perception("symbolic"), rng)
+        assert list(result.facts) == ground
+        assert result.missed == 0
+        assert result.mislabeled == 0
+
+    def test_latency_from_profile(self, rng):
+        result = detect(facts(), get_perception("mask-rcnn"), rng)
+        assert result.latency == get_perception("mask-rcnn").latency_s
+
+    def test_imperfect_recall_drops_facts(self):
+        rng = np.random.default_rng(0)
+        low_recall = PerceptionProfile(
+            name="blurry", latency_s=0.1, recall=0.3, mislabel_rate=0.0, modality="rgb"
+        )
+        result = detect(facts(100), low_recall, rng)
+        assert 0 < len(result.facts) < 100
+        assert result.missed == 100 - len(result.facts)
+
+    def test_mislabeling_needs_distractors(self):
+        rng = np.random.default_rng(0)
+        sloppy = PerceptionProfile(
+            name="sloppy", latency_s=0.1, recall=1.0, mislabel_rate=0.9, modality="rgb"
+        )
+        clean = detect(facts(50), sloppy, rng)
+        assert clean.mislabeled == 0  # no distractor vocabulary provided
+        noisy = detect(facts(50), sloppy, rng, distractor_values=["room_b", "room_c"])
+        assert noisy.mislabeled > 0
+
+    def test_mislabeled_fact_keeps_subject(self):
+        rng = np.random.default_rng(3)
+        sloppy = PerceptionProfile(
+            name="sloppy2", latency_s=0.1, recall=1.0, mislabel_rate=0.95, modality="rgb"
+        )
+        result = detect(facts(5), sloppy, rng, distractor_values=["room_z"])
+        for fact in result.facts:
+            assert fact.subject.startswith("obj_")
+            assert fact.value in ("room_a", "room_z")
+
+    @settings(max_examples=20)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_counts_are_consistent(self, seed):
+        rng = np.random.default_rng(seed)
+        profile = get_perception("vild")
+        ground = facts(30)
+        result = detect(ground, profile, rng, distractor_values=["room_b"])
+        assert len(result.facts) + result.missed == len(ground)
+        assert 0 <= result.mislabeled <= len(result.facts)

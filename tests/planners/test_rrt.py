@@ -1,0 +1,77 @@
+"""Tests for the planar RRT planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planners.rrt import CircleObstacle, rrt_plan
+
+
+class TestBasics:
+    def test_open_space_path_found(self, rng):
+        result = rrt_plan((0.1, 0.1), (0.9, 0.9), [], rng)
+        assert result.found
+        assert result.path[0] == (0.1, 0.1)
+        assert result.path[-1] == (0.9, 0.9)
+
+    def test_path_length_at_least_euclidean(self, rng):
+        result = rrt_plan((0.1, 0.1), (0.9, 0.9), [], rng)
+        direct = float(np.hypot(0.8, 0.8))
+        assert result.length >= direct - 1e-6
+
+    def test_start_inside_obstacle_fails_fast(self, rng):
+        blocked = [CircleObstacle(x=0.1, y=0.1, radius=0.2)]
+        result = rrt_plan((0.1, 0.1), (0.9, 0.9), blocked, rng)
+        assert not result.found
+        assert result.iterations == 0
+
+    def test_out_of_workspace_rejected(self, rng):
+        with pytest.raises(ValueError):
+            rrt_plan((1.5, 0.5), (0.5, 0.5), [], rng)
+
+    def test_iteration_budget(self, rng):
+        # Goal fully enclosed: planner must exhaust its budget.
+        wall = [CircleObstacle(x=0.9, y=0.9, radius=0.08)]
+        result = rrt_plan(
+            (0.1, 0.1), (0.9, 0.9), wall, rng, max_iterations=150, goal_tolerance=0.01
+        )
+        assert result.iterations <= 150
+
+
+class TestObstacleAvoidance:
+    def test_detours_around_central_disc(self, rng):
+        obstacle = CircleObstacle(x=0.5, y=0.5, radius=0.15)
+        result = rrt_plan((0.1, 0.5), (0.9, 0.5), [obstacle], rng)
+        assert result.found
+        for point in result.path:
+            assert not obstacle.contains(point)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500))
+    def test_waypoints_always_collision_free(self, seed):
+        rng = np.random.default_rng(seed)
+        obstacles = [
+            CircleObstacle(x=0.4, y=0.4, radius=0.1),
+            CircleObstacle(x=0.6, y=0.7, radius=0.12),
+        ]
+        result = rrt_plan((0.05, 0.05), (0.95, 0.95), obstacles, rng)
+        for point in result.path:
+            for obstacle in obstacles:
+                assert not obstacle.contains(point)
+
+
+class TestDeterminism:
+    def test_same_seed_same_path(self):
+        a = rrt_plan((0.1, 0.1), (0.9, 0.9), [], np.random.default_rng(7))
+        b = rrt_plan((0.1, 0.1), (0.9, 0.9), [], np.random.default_rng(7))
+        assert a.path == b.path
+        assert a.iterations == b.iterations
+
+
+class TestCircleObstacle:
+    def test_contains_with_margin(self):
+        obstacle = CircleObstacle(x=0.5, y=0.5, radius=0.1)
+        assert obstacle.contains((0.55, 0.5))
+        assert not obstacle.contains((0.65, 0.5))
+        assert obstacle.contains((0.65, 0.5), margin=0.1)

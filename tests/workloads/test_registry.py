@@ -1,0 +1,123 @@
+"""Tests for the workload suite and Table I/II fidelity."""
+
+import pytest
+
+from repro.core.errors import UnknownWorkloadError
+from repro.workloads import (
+    EXTENDED_TAXONOMY,
+    WORKLOAD_SUITE,
+    full_taxonomy,
+    get_workload,
+    list_workloads,
+)
+
+#: Module composition transcribed from the paper's Table II:
+#: (sensing, planning, communication, memory, reflection, execution).
+PAPER_TABLE2 = {
+    "embodiedgpt": (True, True, False, False, False, True),
+    "jarvis-1": (True, True, False, True, True, True),
+    "dadu-e": (True, True, False, True, True, True),
+    "mp5": (True, True, False, False, True, True),
+    "deps": (True, True, False, False, True, True),
+    "mindagent": (False, True, True, True, False, True),
+    "ola": (False, True, True, True, True, True),
+    "coherent": (True, True, True, True, True, True),
+    "cmas": (True, True, True, True, False, True),
+    "coela": (True, True, True, True, False, True),
+    "combo": (True, True, True, True, False, True),
+    "roco": (True, True, True, True, True, True),
+    "dmas": (True, True, True, True, False, True),
+    "hmas": (True, True, True, True, True, True),
+}
+
+PAPER_PARADIGMS = {
+    "embodiedgpt": "modular",
+    "jarvis-1": "modular",
+    "dadu-e": "modular",
+    "mp5": "modular",
+    "deps": "modular",
+    "mindagent": "centralized",
+    "ola": "centralized",
+    "coherent": "centralized",
+    "cmas": "centralized",
+    "coela": "decentralized",
+    "combo": "decentralized",
+    "roco": "decentralized",
+    "dmas": "decentralized",
+    "hmas": "hybrid",
+}
+
+
+class TestSuite:
+    def test_fourteen_workloads(self):
+        assert len(WORKLOAD_SUITE) == 14
+
+    def test_names_unique(self):
+        assert len(set(list_workloads())) == 14
+
+    def test_lookup(self):
+        assert get_workload("coela").name == "coela"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload("gpt-agent-9000")
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE2))
+    def test_module_composition_matches_paper(self, name):
+        config = get_workload(name).config
+        flags = config.module_flags()
+        expected = PAPER_TABLE2[name]
+        actual = (
+            flags["sensing"],
+            flags["planning"],
+            flags["communication"],
+            flags["memory"],
+            flags["reflection"],
+            flags["execution"],
+        )
+        assert actual == expected, f"{name}: {actual} != paper {expected}"
+
+    @pytest.mark.parametrize("name", sorted(PAPER_PARADIGMS))
+    def test_paradigm_matches_paper(self, name):
+        assert get_workload(name).config.paradigm == PAPER_PARADIGMS[name]
+
+    def test_planning_models_match_paper(self):
+        assert get_workload("jarvis-1").config.planning_model == "gpt-4"
+        assert get_workload("dadu-e").config.planning_model == "llama-3-8b"
+        assert get_workload("combo").config.planning_model == "llava-7b"
+        assert get_workload("embodiedgpt").config.planning_model == "llama-7b-ft"
+
+    def test_multi_agent_counts(self):
+        for name in ("mindagent", "ola", "coela", "combo", "roco"):
+            assert get_workload(name).config.default_agents >= 2
+        for name in ("cmas", "dmas", "hmas"):
+            assert get_workload(name).config.default_agents == 4
+
+    def test_coela_has_action_selection_stage(self):
+        assert get_workload("coela").config.action_selection_llm
+
+
+class TestTaxonomy:
+    def test_full_taxonomy_covers_suite_and_extended(self):
+        entries = full_taxonomy()
+        assert len(entries) == 14 + len(EXTENDED_TAXONOMY)
+
+    def test_extended_taxonomy_has_end_to_end_systems(self):
+        categories = {entry.category for entry in EXTENDED_TAXONOMY}
+        assert "single-end-to-end" in categories
+
+    def test_entry_module_flags_shape(self):
+        for entry in full_taxonomy():
+            flags = entry.module_flags()
+            assert set(flags) == {
+                "sensing",
+                "planning",
+                "communication",
+                "memory",
+                "reflection",
+                "execution",
+            }
+
+    def test_all_entries_plan(self):
+        for entry in full_taxonomy():
+            assert entry.planning
