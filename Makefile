@@ -1,0 +1,25 @@
+# Single source of truth for the commands CI and humans run.
+# All targets honour REPRO_TRIALS / REPRO_WORKERS from the environment.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench lint format suite
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} REPRO_WORKERS=$${REPRO_WORKERS:-2} \
+		$(PYTHON) -m pytest benchmarks/ -x -q
+
+lint:
+	ruff check .
+	ruff format --check .
+
+format:
+	ruff check --fix .
+	ruff format .
+
+suite:
+	$(PYTHON) -m repro.experiments.suite

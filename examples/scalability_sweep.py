@@ -7,7 +7,11 @@ latency stays mild; decentralized latency explodes.
 
 Usage::
 
-    python examples/scalability_sweep.py [difficulty] [n_trials]
+    python examples/scalability_sweep.py [difficulty] [n_trials] [workers]
+
+With ``workers`` > 1 (or ``REPRO_WORKERS`` set) the per-cell trials run
+on the process-parallel executor; results are identical to the serial
+sweep, only faster.
 """
 
 from __future__ import annotations
@@ -16,11 +20,13 @@ import sys
 
 from repro import get_workload, run_trials
 from repro.analysis.report import format_series
+from repro.core.executor import TrialExecutor, get_executor
+from repro.experiments.common import workers_from_env
 
 AGENT_COUNTS = (2, 4, 6, 8, 10)
 
 
-def sweep(name: str, difficulty: str, n_trials: int):
+def sweep(name: str, difficulty: str, n_trials: int, executor: TrialExecutor):
     config = get_workload(name).config
     success, latency = [], []
     for n_agents in AGENT_COUNTS:
@@ -30,6 +36,7 @@ def sweep(name: str, difficulty: str, n_trials: int):
             difficulty=difficulty,
             n_agents=n_agents,
             base_seed=29,
+            executor=executor,
         )
         success.append(100.0 * aggregate.success_rate)
         latency.append(aggregate.mean_sim_minutes)
@@ -39,9 +46,11 @@ def sweep(name: str, difficulty: str, n_trials: int):
 def main() -> None:
     difficulty = sys.argv[1] if len(sys.argv) > 1 else "medium"
     n_trials = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+    workers = int(sys.argv[3]) if len(sys.argv) > 3 else workers_from_env()
+    executor = get_executor("parallel" if workers > 1 else "serial", workers)
 
-    central_success, central_latency = sweep("mindagent", difficulty, n_trials)
-    decent_success, decent_latency = sweep("coela", difficulty, n_trials)
+    central_success, central_latency = sweep("mindagent", difficulty, n_trials, executor)
+    decent_success, decent_latency = sweep("coela", difficulty, n_trials, executor)
 
     print(
         format_series(

@@ -16,8 +16,11 @@ from repro.core import (
     MemoryConfig,
     ModuleName,
     OptimizationConfig,
+    ParallelExecutor,
+    SerialExecutor,
     SystemConfig,
     TaskSpec,
+    TrialExecutor,
     run_episode,
     run_trials,
 )
@@ -33,8 +36,11 @@ __all__ = [
     "MemoryConfig",
     "ModuleName",
     "OptimizationConfig",
+    "ParallelExecutor",
+    "SerialExecutor",
     "SystemConfig",
     "TaskSpec",
+    "TrialExecutor",
     "WORKLOAD_SUITE",
     "__version__",
     "get_workload",

@@ -4,7 +4,16 @@ from repro.core.agent import EmbodiedAgent
 from repro.core.beliefs import Beliefs
 from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock, Span
 from repro.core.config import MemoryConfig, OptimizationConfig, SystemConfig
-from repro.core.errors import FaultKind, ReproError
+from repro.core.errors import FaultKind, ReproError, TrialExecutionError
+from repro.core.executor import (
+    EXECUTOR_KINDS,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    TrialJob,
+    get_executor,
+    make_executor,
+)
 from repro.core.metrics import (
     AggregateResult,
     EpisodeResult,
@@ -12,7 +21,7 @@ from repro.core.metrics import (
     TokenSample,
     aggregate,
 )
-from repro.core.runner import build_loop, build_task, run_episode, run_trials
+from repro.core.runner import build_loop, build_task, run_episode, run_trials, trial_jobs
 from repro.core.types import (
     Action,
     ActionResult,
@@ -33,6 +42,7 @@ __all__ = [
     "Beliefs",
     "Candidate",
     "Decision",
+    "EXECUTOR_KINDS",
     "EmbodiedAgent",
     "EpisodeResult",
     "Fact",
@@ -45,7 +55,9 @@ __all__ = [
     "ModuleName",
     "Observation",
     "OptimizationConfig",
+    "ParallelExecutor",
     "ReproError",
+    "SerialExecutor",
     "SimClock",
     "Span",
     "StepRecord",
@@ -53,9 +65,15 @@ __all__ = [
     "SystemConfig",
     "TaskSpec",
     "TokenSample",
+    "TrialExecutionError",
+    "TrialExecutor",
+    "TrialJob",
     "aggregate",
     "build_loop",
     "build_task",
+    "get_executor",
+    "make_executor",
     "run_episode",
     "run_trials",
+    "trial_jobs",
 ]

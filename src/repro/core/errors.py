@@ -41,6 +41,15 @@ class UnknownWorkloadError(ReproError):
     """Requested workload name is not present in the registry."""
 
 
+class TrialExecutionError(ReproError):
+    """A trial episode failed inside an executor (serial or worker process).
+
+    The message names the failing job (workload, env, seed) so a crash in
+    a 1000-cell sweep is attributable without re-running it; the original
+    exception rides along as ``__cause__``.
+    """
+
+
 class UnknownModelError(ReproError):
     """Requested LLM/perception model profile does not exist."""
 

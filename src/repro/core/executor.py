@@ -1,0 +1,210 @@
+"""Trial execution engines: serial and process-parallel episode dispatch.
+
+Every figure in the paper aggregates independent seeded trials, which
+makes the trial grid embarrassingly parallel: episodes share no state
+(each owns its RNG streams, clock, and environment), so they can run in
+worker processes without perturbing determinism.  A
+:class:`TrialExecutor` receives an ordered list of picklable
+:class:`TrialJob` work items and returns their
+:class:`~repro.core.metrics.EpisodeResult`\\ s **in submission order**,
+so aggregation downstream is bit-identical regardless of which worker
+finished first.
+
+``SerialExecutor`` (the default everywhere) runs jobs in-process exactly
+as the seed code did; ``ParallelExecutor`` fans them out across a
+``concurrent.futures.ProcessPoolExecutor``.  Experiment code normally
+obtains an executor from :func:`get_executor`, which caches one pool per
+``(kind, max_workers)`` so a full suite run reuses its workers instead
+of re-forking per experiment cell.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from concurrent import futures
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.core.config import SystemConfig
+from repro.core.errors import TrialExecutionError
+from repro.core.metrics import EpisodeResult
+from repro.core.types import TaskSpec
+
+#: Executor kinds selectable via settings / ``REPRO_WORKERS``.
+EXECUTOR_KINDS = ("serial", "parallel")
+
+
+@dataclass(frozen=True)
+class TrialJob:
+    """One seeded episode of one configured system: the unit of dispatch.
+
+    The triple is fully picklable (frozen dataclasses of primitives all
+    the way down), so a job can cross a process boundary; the worker
+    rebuilds the paradigm loop from it and runs the episode.
+    """
+
+    config: SystemConfig
+    task: TaskSpec
+    seed: int
+
+    def describe(self) -> str:
+        return f"{self.config.name}/{self.task.env_name} seed={self.seed}"
+
+
+def run_trial_job(job: TrialJob) -> EpisodeResult:
+    """Execute one job. Module-level so process pools can pickle it."""
+    # Imported lazily: runner imports this module for its default executor.
+    from repro.core.runner import build_loop
+
+    return build_loop(job.config, job.task, job.seed).run()
+
+
+class TrialExecutor(ABC):
+    """Strategy for running a batch of independent trial jobs."""
+
+    kind: str = "abstract"
+
+    @abstractmethod
+    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
+        """Run every job and return results in submission order.
+
+        A job that raises must surface a :class:`TrialExecutionError`
+        naming the failed job — never hang, never drop results.
+        """
+
+    def close(self) -> None:
+        """Release worker resources; the executor is unusable afterwards."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process execution, bit-identical to the pre-executor seed code."""
+
+    kind = "serial"
+
+    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
+        results = []
+        for job in jobs:
+            try:
+                results.append(run_trial_job(job))
+            except Exception as exc:
+                raise TrialExecutionError(
+                    f"trial {job.describe()} failed: {exc!r}"
+                ) from exc
+        return results
+
+
+def default_worker_count() -> int:
+    """Worker count when none is given: every core the scheduler grants us."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux fallback
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor(TrialExecutor):
+    """Fan jobs out across a lazily created process pool.
+
+    The pool is created on first use (constructing the executor is free)
+    and survives across ``run_jobs`` calls so sweeps amortize worker
+    startup.  Results are collected future-by-future in submission
+    order, which both preserves determinism and turns a worker crash
+    into an immediate, attributable exception instead of a hang.
+    """
+
+    kind = "parallel"
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1: {max_workers}")
+        self.max_workers = max_workers or default_worker_count()
+        self._pool: futures.ProcessPoolExecutor | None = None
+        # run_jobs may be called from several threads at once (suite
+        # --concurrent-sections); guard pool creation so only one pool
+        # of workers ever exists per executor.
+        self._lock = threading.Lock()
+
+    def _ensure_pool(self) -> futures.ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = futures.ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool
+
+    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
+        if not jobs:
+            return []
+        pool = self._ensure_pool()
+        pending = [(job, pool.submit(run_trial_job, job)) for job in jobs]
+        results = []
+        try:
+            for job, future in pending:
+                try:
+                    results.append(future.result())
+                except BrokenProcessPool as exc:
+                    self.close()
+                    raise TrialExecutionError(
+                        f"worker pool died while running trial {job.describe()}"
+                    ) from exc
+                except Exception as exc:
+                    raise TrialExecutionError(
+                        f"trial {job.describe()} failed in worker: {exc!r}"
+                    ) from exc
+        finally:
+            for _job, future in pending:
+                future.cancel()
+        return results
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+
+
+def make_executor(kind: str, max_workers: int | None = None) -> TrialExecutor:
+    """Construct a fresh (uncached) executor of the given kind."""
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "parallel":
+        return ParallelExecutor(max_workers=max_workers)
+    raise ValueError(f"executor kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
+
+
+_SHARED: dict[tuple[str, int | None], TrialExecutor] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def get_executor(kind: str, max_workers: int | None = None) -> TrialExecutor:
+    """Shared executor for ``(kind, max_workers)``.
+
+    Parallel executors own a process pool, so experiment helpers share
+    one instance per configuration rather than re-forking workers for
+    every cell of a sweep.  Thread-safe (concurrent suite sections
+    resolve their executor through here); pools are shut down at
+    interpreter exit.
+    """
+    key = (kind, max_workers)
+    with _SHARED_LOCK:
+        if key not in _SHARED:
+            _SHARED[key] = make_executor(kind, max_workers=max_workers)
+        return _SHARED[key]
+
+
+def shutdown_shared_executors() -> None:
+    """Close every cached executor (used by tests and atexit)."""
+    with _SHARED_LOCK:
+        for executor in _SHARED.values():
+            executor.close()
+        _SHARED.clear()
+
+
+atexit.register(shutdown_shared_executors)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.core.agent import EmbodiedAgent, PerceptionBundle
 from repro.core.clock import ModuleName
 from repro.core.paradigms.base import ParadigmLoop
-from repro.core.types import Candidate, Decision, Message
+from repro.core.types import Candidate, Decision
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
 from repro.llm.simulated import OUTPUT_TOKENS

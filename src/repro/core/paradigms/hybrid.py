@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.core.clock import ModuleName
 from repro.core.paradigms.centralized import CentralizedLoop, filter_assigned
-from repro.core.types import Candidate, Decision
+from repro.core.types import Decision
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
 from repro.llm.simulated import OUTPUT_TOKENS

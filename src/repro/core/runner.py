@@ -2,12 +2,16 @@
 
 ``run_episode`` executes one seeded episode of a configured system;
 ``run_trials`` repeats it across independent seeds and aggregates —
-the unit of measurement for every figure in the paper.
+the unit of measurement for every figure in the paper.  Trials are
+independent, so ``run_trials`` can fan them out across processes via a
+:class:`~repro.core.executor.TrialExecutor`; the default serial executor
+reproduces the seed behaviour bit for bit.
 """
 
 from __future__ import annotations
 
 from repro.core.config import SystemConfig
+from repro.core.executor import SerialExecutor, TrialExecutor, TrialJob
 from repro.core.metrics import AggregateResult, EpisodeResult, aggregate
 from repro.core.paradigms import PARADIGM_LOOPS, ParadigmLoop
 from repro.core.seeding import spawn_trial_seeds
@@ -61,18 +65,23 @@ def run_episode(
     return build_loop(config, task, seed).run()
 
 
-def run_trials(
+def trial_jobs(
     config: SystemConfig,
-    n_trials: int = 8,
+    n_trials: int,
     difficulty: str = "medium",
     n_agents: int | None = None,
     base_seed: int = 0,
     horizon: int | None = None,
-) -> AggregateResult:
-    """Run ``n_trials`` independent episodes and aggregate the metrics."""
+) -> list[TrialJob]:
+    """Picklable work items for ``n_trials`` seeded episodes, seed-ordered.
+
+    Tasks are built eagerly in the parent process (task construction is
+    cheap and deterministic in the seed), so workers receive fully
+    specified ``(config, task, seed)`` triples.
+    """
     if n_trials < 1:
         raise ValueError(f"n_trials must be >= 1: {n_trials}")
-    results = []
+    jobs = []
     for trial_seed in spawn_trial_seeds(base_seed, n_trials):
         task = build_task(
             config,
@@ -81,5 +90,33 @@ def run_trials(
             seed=trial_seed,
             horizon=horizon,
         )
-        results.append(build_loop(config, task, trial_seed).run())
-    return aggregate(results)
+        jobs.append(TrialJob(config=config, task=task, seed=trial_seed))
+    return jobs
+
+
+def run_trials(
+    config: SystemConfig,
+    n_trials: int = 8,
+    difficulty: str = "medium",
+    n_agents: int | None = None,
+    base_seed: int = 0,
+    horizon: int | None = None,
+    executor: TrialExecutor | None = None,
+) -> AggregateResult:
+    """Run ``n_trials`` independent episodes and aggregate the metrics.
+
+    ``executor`` selects the execution engine; ``None`` means serial,
+    which is bit-identical to the seed implementation.  Results are
+    aggregated in spawn-seed order regardless of worker completion
+    order, so serial and parallel runs agree exactly.
+    """
+    jobs = trial_jobs(
+        config,
+        n_trials,
+        difficulty=difficulty,
+        n_agents=n_agents,
+        base_seed=base_seed,
+        horizon=horizon,
+    )
+    runner = executor if executor is not None else SerialExecutor()
+    return aggregate(runner.run_jobs(jobs))

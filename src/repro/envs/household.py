@@ -12,7 +12,7 @@ multi-agent), COHERENT (centralized heterogeneous robots, RRT arms).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.core.config import SystemConfig
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.optim import (
     with_batching,
     with_comm_filter,
@@ -87,24 +87,29 @@ def _cases() -> list[tuple[str, str, SystemConfig, SystemConfig]]:
 
 def run(settings: ExperimentSettings | None = None) -> AblationsResult:
     settings = settings or ExperimentSettings()
-    rows = []
+    cases = []
+    grid = []
     for recommendation, workload, baseline_config, optimized_config in _cases():
         for variant, config in (
             ("baseline", baseline_config),
             ("optimized", optimized_config),
         ):
-            aggregate = measure(config, settings)
-            rows.append(
-                AblationRow(
-                    recommendation=recommendation,
-                    workload=workload,
-                    variant=variant,
-                    success_rate=aggregate.success_rate,
-                    total_minutes=aggregate.mean_sim_minutes,
-                    llm_calls=aggregate.mean_llm_calls,
-                    messages_sent=aggregate.mean_messages_sent,
-                )
-            )
+            cases.append((recommendation, workload, variant))
+            grid.append(GridCell(config=config))
+    rows = [
+        AblationRow(
+            recommendation=recommendation,
+            workload=workload,
+            variant=variant,
+            success_rate=aggregate.success_rate,
+            total_minutes=aggregate.mean_sim_minutes,
+            llm_calls=aggregate.mean_llm_calls,
+            messages_sent=aggregate.mean_messages_sent,
+        )
+        for (recommendation, workload, variant), aggregate in zip(
+            cases, measure_grid(grid, settings)
+        )
+    ]
     return AblationsResult(rows=rows)
 
 

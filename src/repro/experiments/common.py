@@ -2,7 +2,15 @@
 
 Experiments read their trial count from the ``REPRO_TRIALS`` environment
 variable (default 5) so benchmark runs can trade precision for speed
-without code changes (``REPRO_TRIALS=2 pytest benchmarks/``).
+without code changes (``REPRO_TRIALS=2 pytest benchmarks/``), and their
+execution engine from ``REPRO_WORKERS`` (default 1 = serial, bit-identical
+to the seed; >1 fans trials out across that many worker processes).
+
+The sweep helpers are grid-shaped on purpose: an experiment declares its
+full grid of cells up front (:class:`GridCell`) and :func:`measure_grid`
+flattens cells x trials into one batch of picklable jobs for the
+executor, so parallelism spans the whole grid rather than one cell's
+handful of trials.
 """
 
 from __future__ import annotations
@@ -11,24 +19,45 @@ import os
 from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
-from repro.core.metrics import AggregateResult
-from repro.core.runner import run_trials
+from repro.core.executor import EXECUTOR_KINDS, TrialExecutor, TrialJob, get_executor
+from repro.core.metrics import AggregateResult, EpisodeResult, aggregate
+from repro.core.runner import build_task, run_trials, trial_jobs
 
 DEFAULT_TRIALS = 5
+DEFAULT_WORKERS = 1
 
 
-def trials_from_env(default: int = DEFAULT_TRIALS) -> int:
-    """Trial count override from ``REPRO_TRIALS`` (>=1)."""
-    raw = os.environ.get("REPRO_TRIALS", "")
+def _int_env(name: str, default: int, minimum: int = 1) -> int:
+    """Read an integer environment knob, tolerating stray whitespace.
+
+    Empty / unset values fall back to ``default``; non-integers and
+    values below ``minimum`` raise ``ValueError`` naming the variable.
+    """
+    raw = os.environ.get(name, "").strip()
     if not raw:
         return default
     try:
         value = int(raw)
     except ValueError:
-        raise ValueError(f"REPRO_TRIALS must be an integer, got {raw!r}") from None
-    if value < 1:
-        raise ValueError(f"REPRO_TRIALS must be >= 1, got {value}")
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
     return value
+
+
+def trials_from_env(default: int = DEFAULT_TRIALS) -> int:
+    """Trial count override from ``REPRO_TRIALS`` (>=1)."""
+    return _int_env("REPRO_TRIALS", default)
+
+
+def workers_from_env(default: int = DEFAULT_WORKERS) -> int:
+    """Worker count override from ``REPRO_WORKERS`` (>=1; 1 = serial)."""
+    return _int_env("REPRO_WORKERS", default)
+
+
+def executor_from_env() -> str:
+    """Executor kind implied by ``REPRO_WORKERS``: parallel iff workers > 1."""
+    return "parallel" if workers_from_env() > 1 else "serial"
 
 
 @dataclass(frozen=True)
@@ -38,6 +67,44 @@ class ExperimentSettings:
     n_trials: int = field(default_factory=trials_from_env)
     base_seed: int = 2025
     difficulty: str = "medium"
+    #: Execution engine: "serial" or "parallel" (default follows
+    #: ``REPRO_WORKERS``: serial unless it is set above 1).
+    executor: str = field(default_factory=executor_from_env)
+    #: Worker processes for the parallel executor (ignored when serial).
+    max_workers: int = field(default_factory=workers_from_env)
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_KINDS:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_KINDS}, got {self.executor!r}"
+            )
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers}")
+
+    def make_executor(self) -> TrialExecutor:
+        """The (shared, pooled) executor these settings select."""
+        return get_executor(self.executor, self.max_workers)
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One experiment cell: a config plus its per-cell task overrides."""
+
+    config: SystemConfig
+    difficulty: str | None = None
+    n_agents: int | None = None
+    horizon: int | None = None
+
+
+def _cell_jobs(cell: GridCell, settings: ExperimentSettings) -> list[TrialJob]:
+    return trial_jobs(
+        cell.config,
+        settings.n_trials,
+        difficulty=cell.difficulty or settings.difficulty,
+        n_agents=cell.n_agents,
+        base_seed=settings.base_seed,
+        horizon=cell.horizon,
+    )
 
 
 def measure(
@@ -55,4 +122,52 @@ def measure(
         n_agents=n_agents,
         base_seed=settings.base_seed,
         horizon=horizon,
+        executor=settings.make_executor(),
     )
+
+
+def measure_grid(
+    cells: list[GridCell], settings: ExperimentSettings
+) -> list[AggregateResult]:
+    """Measure every cell of a grid through one executor batch.
+
+    All cells' trials are flattened into a single job list (cell-major,
+    seed-minor — the exact order the seed code ran them serially),
+    dispatched as one batch so workers stay busy across cell boundaries,
+    then regrouped and aggregated per cell.  Output order matches input
+    cell order.
+    """
+    jobs = []
+    spans = []
+    for cell in cells:
+        cell_jobs = _cell_jobs(cell, settings)
+        spans.append(len(cell_jobs))
+        jobs.extend(cell_jobs)
+    results = settings.make_executor().run_jobs(jobs)
+    aggregates = []
+    cursor = 0
+    for span in spans:
+        aggregates.append(aggregate(results[cursor : cursor + span]))
+        cursor += span
+    return aggregates
+
+
+def episode_grid(
+    cells: list[GridCell], settings: ExperimentSettings
+) -> list[EpisodeResult]:
+    """Run one episode per cell (at ``settings.base_seed``) via the executor.
+
+    For experiments that need raw per-episode traces (e.g. Fig. 6 token
+    series) rather than aggregates.
+    """
+    jobs = []
+    for cell in cells:
+        task = build_task(
+            cell.config,
+            difficulty=cell.difficulty or settings.difficulty,
+            n_agents=cell.n_agents,
+            seed=settings.base_seed,
+            horizon=cell.horizon,
+        )
+        jobs.append(TrialJob(config=cell.config, task=task, seed=settings.base_seed))
+    return settings.make_executor().run_jobs(jobs)

@@ -20,7 +20,7 @@ from repro.analysis.profiler import (
 )
 from repro.analysis.report import format_bar_chart, format_table
 from repro.core.clock import MODULE_ORDER
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.workloads.registry import WORKLOAD_SUITE
 
 
@@ -35,11 +35,9 @@ class Fig2Result:
 
 def run(settings: ExperimentSettings | None = None) -> Fig2Result:
     settings = settings or ExperimentSettings()
-    profiles = []
-    for workload in WORKLOAD_SUITE:
-        aggregate = measure(workload.config, settings)
-        profiles.append(profile_from_aggregate(aggregate))
-    return Fig2Result(profiles=profiles)
+    cells = [GridCell(config=workload.config) for workload in WORKLOAD_SUITE]
+    aggregates = measure_grid(cells, settings)
+    return Fig2Result(profiles=[profile_from_aggregate(agg) for agg in aggregates])
 
 
 def render(result: Fig2Result) -> str:

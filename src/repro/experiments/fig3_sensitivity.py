@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_table
 from repro.core.metrics import AggregateResult
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.workloads.registry import get_workload
 
 SUBJECTS = ("coela", "combo", "coherent", "roco", "hmas", "jarvis-1")
@@ -81,19 +81,27 @@ def run(settings: ExperimentSettings | None = None) -> Fig3Result:
     # The paper ablates on each system's long-horizon tasks; the hard
     # difficulty tier is our equivalent.
     settings = settings or ExperimentSettings(difficulty="hard")
-    cells: list[AblationCell] = []
+    variants: list[tuple[str, str, bool]] = []  # (subject, variant, applicable)
+    grid: list[GridCell] = []
     for subject in SUBJECTS:
         config = get_workload(subject).config
-        baseline = measure(config, settings)
-        cells.append(_cell(subject, "baseline", baseline))
+        variants.append((subject, "baseline", True))
+        grid.append(GridCell(config=config))
         for ablation in ABLATIONS:
             if not _module_present(config, ablation):
-                cells.append(
-                    AblationCell(workload=subject, ablation=ablation, applicable=False)
-                )
+                variants.append((subject, ablation, False))
                 continue
-            ablated = measure(config.without(ablation), settings)
-            cells.append(_cell(subject, ablation, ablated))
+            variants.append((subject, ablation, True))
+            grid.append(GridCell(config=config.without(ablation)))
+    aggregates = iter(measure_grid(grid, settings))
+    cells: list[AblationCell] = []
+    for subject, variant, applicable in variants:
+        if applicable:
+            cells.append(_cell(subject, variant, next(aggregates)))
+        else:
+            cells.append(
+                AblationCell(workload=subject, ablation=variant, applicable=False)
+            )
     return Fig3Result(cells=cells)
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_table
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.workloads.registry import get_workload
 
 SUBJECTS = (
@@ -71,26 +71,27 @@ class Fig4Result:
 
 def run(settings: ExperimentSettings | None = None) -> Fig4Result:
     settings = settings or ExperimentSettings()
+    cases = [(subject, model) for subject in SUBJECTS for model in MODELS]
+    grid = [
+        GridCell(config=get_workload(subject).config.with_planner(model))
+        for subject, model in cases
+    ]
     cells = []
-    for subject in SUBJECTS:
-        base_config = get_workload(subject).config
-        for model in MODELS:
-            config = base_config.with_planner(model)
-            aggregate = measure(config, settings)
-            per_inference = (
-                aggregate.module_seconds.get(_PLANNING, 0.0) / aggregate.mean_llm_calls
-                if aggregate.mean_llm_calls
-                else 0.0
+    for (subject, model), aggregate in zip(cases, measure_grid(grid, settings)):
+        per_inference = (
+            aggregate.module_seconds.get(_PLANNING, 0.0) / aggregate.mean_llm_calls
+            if aggregate.mean_llm_calls
+            else 0.0
+        )
+        cells.append(
+            ModelCell(
+                workload=subject,
+                model=model,
+                success_rate=aggregate.success_rate,
+                total_minutes=aggregate.mean_sim_minutes,
+                seconds_per_inference=per_inference,
             )
-            cells.append(
-                ModelCell(
-                    workload=subject,
-                    model=model,
-                    success_rate=aggregate.success_rate,
-                    total_minutes=aggregate.mean_sim_minutes,
-                    seconds_per_inference=per_inference,
-                )
-            )
+        )
     return Fig4Result(cells=cells)
 
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_series
 from repro.core.clock import ModuleName
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.envs.tasks import default_horizon
 from repro.workloads.registry import get_workload
 
@@ -60,7 +60,8 @@ class Fig5Result:
 
 def run(settings: ExperimentSettings | None = None) -> Fig5Result:
     settings = settings or ExperimentSettings()
-    cells = []
+    cases = []
+    grid = []
     for subject in SUBJECTS:
         base_config = get_workload(subject).config
         for difficulty in DIFFICULTIES:
@@ -68,22 +69,29 @@ def run(settings: ExperimentSettings | None = None) -> Fig5Result:
                 HORIZON_SCALE * default_horizon(base_config.env_name, difficulty)
             )
             for capacity in CAPACITIES:
-                config = base_config.with_memory_capacity(capacity)
-                aggregate = measure(
-                    config, settings, difficulty=difficulty, horizon=horizon
-                )
-                retrieval = aggregate.module_seconds.get(ModuleName.MEMORY, 0.0)
-                cells.append(
-                    MemoryCell(
-                        workload=subject,
+                cases.append((subject, difficulty, capacity))
+                grid.append(
+                    GridCell(
+                        config=base_config.with_memory_capacity(capacity),
                         difficulty=difficulty,
-                        capacity=capacity,
-                        success_rate=aggregate.success_rate,
-                        mean_steps=aggregate.mean_steps,
-                        retrieval_seconds_per_step=retrieval
-                        / max(1.0, aggregate.mean_steps),
+                        horizon=horizon,
                     )
                 )
+    cells = []
+    for (subject, difficulty, capacity), aggregate in zip(
+        cases, measure_grid(grid, settings)
+    ):
+        retrieval = aggregate.module_seconds.get(ModuleName.MEMORY, 0.0)
+        cells.append(
+            MemoryCell(
+                workload=subject,
+                difficulty=difficulty,
+                capacity=capacity,
+                success_rate=aggregate.success_rate,
+                mean_steps=aggregate.mean_steps,
+                retrieval_seconds_per_step=retrieval / max(1.0, aggregate.mean_steps),
+            )
+        )
     return Fig5Result(cells=cells)
 
 

@@ -14,8 +14,7 @@ from dataclasses import dataclass
 
 from repro.analysis.report import format_series
 from repro.analysis.series import growth_slope, token_series_by_agent_purpose
-from repro.core.runner import run_episode
-from repro.experiments.common import ExperimentSettings
+from repro.experiments.common import ExperimentSettings, GridCell, episode_grid
 from repro.workloads.registry import get_workload
 
 SUBJECTS = ("roco", "mindagent", "coela")
@@ -47,12 +46,9 @@ class Fig6Result:
 
 def run(settings: ExperimentSettings | None = None) -> Fig6Result:
     settings = settings or ExperimentSettings()
+    cells = [GridCell(config=get_workload(subject).config) for subject in SUBJECTS]
     traces = []
-    for subject in SUBJECTS:
-        config = get_workload(subject).config
-        episode = run_episode(
-            config, seed=settings.base_seed, difficulty=settings.difficulty
-        )
+    for subject, episode in zip(SUBJECTS, episode_grid(cells, settings)):
         series = token_series_by_agent_purpose(episode)
         slopes = {name: growth_slope(points) for name, points in series.items()}
         traces.append(TokenTrace(workload=subject, series=series, slopes=slopes))

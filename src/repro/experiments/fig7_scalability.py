@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.report import format_series
-from repro.experiments.common import ExperimentSettings, measure
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
 from repro.workloads.registry import get_workload
 
 SUBJECTS = ("mindagent", "coela", "combo")
@@ -51,24 +51,33 @@ class Fig7Result:
 
 def run(settings: ExperimentSettings | None = None) -> Fig7Result:
     settings = settings or ExperimentSettings()
-    cells = []
-    for subject in SUBJECTS:
-        config = get_workload(subject).config
-        for difficulty in DIFFICULTIES:
-            for n_agents in AGENT_COUNTS:
-                aggregate = measure(
-                    config, settings, difficulty=difficulty, n_agents=n_agents
-                )
-                cells.append(
-                    ScaleCell(
-                        workload=subject,
-                        difficulty=difficulty,
-                        n_agents=n_agents,
-                        success_rate=aggregate.success_rate,
-                        total_minutes=aggregate.mean_sim_minutes,
-                        llm_calls=aggregate.mean_llm_calls,
-                    )
-                )
+    cases = [
+        (subject, difficulty, n_agents)
+        for subject in SUBJECTS
+        for difficulty in DIFFICULTIES
+        for n_agents in AGENT_COUNTS
+    ]
+    grid = [
+        GridCell(
+            config=get_workload(subject).config,
+            difficulty=difficulty,
+            n_agents=n_agents,
+        )
+        for subject, difficulty, n_agents in cases
+    ]
+    cells = [
+        ScaleCell(
+            workload=subject,
+            difficulty=difficulty,
+            n_agents=n_agents,
+            success_rate=aggregate.success_rate,
+            total_minutes=aggregate.mean_sim_minutes,
+            llm_calls=aggregate.mean_llm_calls,
+        )
+        for (subject, difficulty, n_agents), aggregate in zip(
+            cases, measure_grid(grid, settings)
+        )
+    ]
     return Fig7Result(cells=cells)
 
 

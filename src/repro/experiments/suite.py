@@ -2,15 +2,25 @@
 
 Usage::
 
-    python -m repro.experiments.suite            # full report
-    REPRO_TRIALS=2 python -m repro.experiments.suite   # quick pass
+    python -m repro.experiments.suite                   # full report
+    REPRO_TRIALS=2 python -m repro.experiments.suite    # quick pass
+    REPRO_WORKERS=8 python -m repro.experiments.suite   # parallel trials
+    python -m repro.experiments.suite --concurrent-sections
 
-The output of this module is the source for EXPERIMENTS.md.
+The output of this module is the source for EXPERIMENTS.md.  Report
+content is independent of the execution mode: trials are seeded, results
+are aggregated in seed order, and sections are always stitched in
+canonical order, so only the per-section timing lines vary between
+serial, parallel, and concurrent runs.
 """
 
 from __future__ import annotations
 
+import argparse
+import os
 import time
+from collections.abc import Callable
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.analysis.tables import render_table1, render_table2
 from repro.experiments import (
@@ -37,20 +47,61 @@ _SECTIONS = (
 )
 
 
-def run_all(settings: ExperimentSettings | None = None) -> str:
+def _run_section(
+    title: str,
+    runner: Callable[[ExperimentSettings], str],
+    settings: ExperimentSettings,
+) -> str:
+    started = time.perf_counter()
+    body = runner(settings)
+    elapsed = time.perf_counter() - started
+    rule = "=" * 72
+    return f"{rule}\n{title}  (generated in {elapsed:.1f}s wall)\n{rule}\n{body}"
+
+
+def run_all(
+    settings: ExperimentSettings | None = None,
+    concurrent_sections: bool = False,
+) -> str:
+    """Render the full report, always stitched in canonical section order.
+
+    With ``concurrent_sections`` the independent sections run on a
+    thread pool (sections spend their time waiting on trial jobs, which
+    the settings' executor may fan out to worker processes); the
+    rendered blocks are reassembled in ``_SECTIONS`` order, so the
+    report content matches the sequential mode modulo timing lines.
+    """
     settings = settings or ExperimentSettings()
-    blocks = []
-    for title, runner in _SECTIONS:
-        started = time.perf_counter()
-        body = runner(settings)
-        elapsed = time.perf_counter() - started
-        rule = "=" * 72
-        blocks.append(f"{rule}\n{title}  (generated in {elapsed:.1f}s wall)\n{rule}\n{body}")
+    if concurrent_sections:
+        with ThreadPoolExecutor(max_workers=len(_SECTIONS)) as pool:
+            blocks = list(
+                pool.map(
+                    lambda section: _run_section(section[0], section[1], settings),
+                    _SECTIONS,
+                )
+            )
+    else:
+        blocks = [_run_section(title, runner, settings) for title, runner in _SECTIONS]
     return "\n\n".join(blocks)
 
 
-def main() -> None:
-    print(run_all())
+def concurrent_sections_from_env() -> bool:
+    """Truthiness of ``REPRO_SUITE_CONCURRENT`` (0/false/no/off disable)."""
+    raw = os.environ.get("REPRO_SUITE_CONCURRENT", "").strip().lower()
+    return raw not in ("", "0", "false", "no", "off")
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument(
+        "--concurrent-sections",
+        action=argparse.BooleanOptionalAction,
+        default=concurrent_sections_from_env(),
+        help="run independent report sections concurrently "
+        "(default follows REPRO_SUITE_CONCURRENT)",
+    )
+    args = parser.parse_args(argv)
+    print(run_all(concurrent_sections=args.concurrent_sections))
 
 
 if __name__ == "__main__":

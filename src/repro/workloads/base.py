@@ -18,7 +18,9 @@ class TaxonomyEntry:
     """One row of the paper's Table I (paradigm categorization)."""
 
     name: str
-    category: str  # "single-modular" | "single-end-to-end" | "multi-centralized" | "multi-decentralized"
+    #: "single-modular" | "single-end-to-end" | "multi-centralized" |
+    #: "multi-decentralized"
+    category: str
     sensing: bool
     planning: bool
     communication: bool

@@ -1,0 +1,155 @@
+"""Executor engine tests: determinism, ordering, crash isolation, pooling."""
+
+import pickle
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import TrialExecutionError
+from repro.core.executor import (
+    EXECUTOR_KINDS,
+    ParallelExecutor,
+    SerialExecutor,
+    TrialJob,
+    get_executor,
+    make_executor,
+    run_trial_job,
+    shutdown_shared_executors,
+)
+from repro.core.metrics import EpisodeResult
+from repro.core.runner import build_task, run_trials, trial_jobs
+from repro.workloads import get_workload
+
+#: One representative workload per paradigm loop (end-to-end is a custom
+#: config because the 14-workload suite has no end-to-end entry).
+PARADIGM_WORKLOADS = ("jarvis-1", "mindagent", "coela", "hmas")
+
+END_TO_END = SystemConfig(
+    name="mini-vla",
+    paradigm="end_to_end",
+    env_name="kitchen",
+    planning_model="vla-rt2",
+    sensing_model=None,
+)
+
+
+@pytest.fixture(scope="module")
+def parallel4():
+    with ParallelExecutor(max_workers=4) as executor:
+        yield executor
+
+
+class TestJobConstruction:
+    def test_trial_jobs_are_seed_ordered_and_picklable(self):
+        config = get_workload("jarvis-1").config
+        jobs = trial_jobs(config, 4, difficulty="easy", base_seed=17)
+        assert len(jobs) == 4
+        assert len({job.seed for job in jobs}) == 4
+        restored = pickle.loads(pickle.dumps(jobs))
+        assert restored == jobs
+
+    def test_trial_jobs_validates_count(self):
+        with pytest.raises(ValueError):
+            trial_jobs(get_workload("jarvis-1").config, 0)
+
+    def test_run_trial_job_matches_direct_episode(self):
+        config = get_workload("embodiedgpt").config
+        task = build_task(config, difficulty="easy", seed=5)
+        result = run_trial_job(TrialJob(config=config, task=task, seed=5))
+        assert isinstance(result, EpisodeResult)
+        assert result.steps >= 1
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("workload", PARADIGM_WORKLOADS)
+    def test_parallel_matches_serial_across_paradigms(self, workload, parallel4):
+        config = get_workload(workload).config
+        serial = run_trials(
+            config, n_trials=4, difficulty="easy", base_seed=31, executor=SerialExecutor()
+        )
+        parallel = run_trials(
+            config, n_trials=4, difficulty="easy", base_seed=31, executor=parallel4
+        )
+        assert parallel == serial
+        # Byte-identical, not merely approximately equal: the aggregate
+        # survives a round-trip through pickle with the same payload.
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_parallel_matches_serial_end_to_end_paradigm(self, parallel4):
+        serial = run_trials(END_TO_END, n_trials=3, difficulty="easy", base_seed=13)
+        parallel = run_trials(
+            END_TO_END, n_trials=3, difficulty="easy", base_seed=13, executor=parallel4
+        )
+        assert pickle.dumps(parallel) == pickle.dumps(serial)
+
+    def test_default_executor_is_serial(self):
+        config = get_workload("embodiedgpt").config
+        explicit = run_trials(
+            config, n_trials=2, difficulty="easy", base_seed=7, executor=SerialExecutor()
+        )
+        default = run_trials(config, n_trials=2, difficulty="easy", base_seed=7)
+        assert pickle.dumps(default) == pickle.dumps(explicit)
+
+    def test_results_in_submission_order(self, parallel4):
+        config = get_workload("embodiedgpt").config
+        jobs = trial_jobs(config, 6, difficulty="easy", base_seed=3)
+        parallel_results = parallel4.run_jobs(jobs)
+        serial_results = SerialExecutor().run_jobs(jobs)
+        assert [r.sim_seconds for r in parallel_results] == [
+            r.sim_seconds for r in serial_results
+        ]
+
+
+class TestCrashIsolation:
+    def _bad_job(self):
+        config = get_workload("coela").config.with_planner("no-such-model")
+        task = build_task(config, difficulty="easy", seed=1)
+        return TrialJob(config=config, task=task, seed=1)
+
+    def test_worker_crash_surfaces_clear_error(self, parallel4):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            parallel4.run_jobs([self._bad_job()])
+        message = str(excinfo.value)
+        assert "no-such-model" in message
+        assert "seed=1" in message
+
+    def test_pool_survives_a_crash(self, parallel4):
+        with pytest.raises(TrialExecutionError):
+            parallel4.run_jobs([self._bad_job()])
+        config = get_workload("embodiedgpt").config
+        results = parallel4.run_jobs(trial_jobs(config, 2, difficulty="easy"))
+        assert len(results) == 2
+
+    def test_serial_crash_wraps_identically(self):
+        with pytest.raises(TrialExecutionError) as excinfo:
+            SerialExecutor().run_jobs([self._bad_job()])
+        assert "no-such-model" in str(excinfo.value)
+
+
+class TestFactoriesAndPooling:
+    def test_make_executor_kinds(self):
+        assert make_executor("serial").kind == "serial"
+        parallel = make_executor("parallel", max_workers=2)
+        assert parallel.kind == "parallel"
+        assert parallel.max_workers == 2
+        parallel.close()
+        with pytest.raises(ValueError):
+            make_executor("threads")
+        assert set(EXECUTOR_KINDS) == {"serial", "parallel"}
+
+    def test_parallel_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+
+    def test_get_executor_is_cached_per_spec(self):
+        try:
+            first = get_executor("parallel", 2)
+            assert get_executor("parallel", 2) is first
+            assert get_executor("parallel", 3) is not first
+            assert get_executor("serial") is get_executor("serial")
+        finally:
+            shutdown_shared_executors()
+
+    def test_empty_batch_is_a_noop(self):
+        with ParallelExecutor(max_workers=2) as executor:
+            assert executor.run_jobs([]) == []

@@ -6,9 +6,6 @@ consequences the paper describes: wasted steps, reflection recovery,
 loops without reflection, and metric attribution.
 """
 
-import numpy as np
-import pytest
-
 from repro.core.config import MemoryConfig, SystemConfig
 from repro.core.errors import FaultKind
 from repro.core.runner import run_episode

@@ -8,7 +8,7 @@ call structure.
 
 import pytest
 
-from repro.core.clock import LLM_MODULES, ModuleName
+from repro.core.clock import ModuleName
 from repro.core.runner import run_episode
 from repro.workloads import WORKLOAD_SUITE, get_workload
 

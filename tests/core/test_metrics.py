@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock
+from repro.core.clock import MODULE_ORDER, ModuleName, SimClock
 from repro.core.errors import FaultKind
 from repro.core.metrics import EpisodeResult, MetricsCollector, aggregate
 from repro.core.types import StepRecord, Subgoal

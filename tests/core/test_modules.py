@@ -48,7 +48,10 @@ class TestSensing:
 class TestMemory:
     def make(self, context, capacity=10, dual=False):
         return MemoryModule(
-            context, capacity_steps=capacity, static_facts=[Fact("fixture", "in", "kitchen")], dual=dual
+            context,
+            capacity_steps=capacity,
+            static_facts=[Fact("fixture", "in", "kitchen")],
+            dual=dual,
         )
 
     def test_store_and_retrieve(self, context):
@@ -306,7 +309,6 @@ class TestExecution:
         module = ExecutionModule(
             context, enabled=False, fallback_llm=make_llm("llama-3-8b")
         )
-        obj_name = next(iter(env.goals))
         failures = 0
         for _ in range(20):
             outcome = module.execute(env, Subgoal(name="explore", target="kitchen"))

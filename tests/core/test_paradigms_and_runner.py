@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.agent import AgentState, EmbodiedAgent, FAULT_REPEAT_CAP
+from repro.core.agent import AgentState, FAULT_REPEAT_CAP
 from repro.core.config import MemoryConfig, SystemConfig
 from repro.core.metrics import EpisodeResult
 from repro.core.paradigms import PARADIGM_LOOPS

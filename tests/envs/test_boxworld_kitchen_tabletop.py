@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.beliefs import Beliefs
-from repro.core.types import Fact, Subgoal
+from repro.core.types import Subgoal
 from repro.envs import make_env, make_task
 from repro.envs.boxworld import VARIANTS
 from repro.envs.kitchen import ATTEMPT_SUCCESS_P, MICRO_TASKS

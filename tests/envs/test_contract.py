@@ -5,7 +5,6 @@ goal-progress bounds, deterministic construction, failure on unknown
 subgoals, and claim semantics.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.beliefs import Beliefs

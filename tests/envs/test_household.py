@@ -9,7 +9,10 @@ from repro.envs import make_env, make_task
 
 
 def build(seed=0, difficulty="easy", n_agents=1, **params):
-    env = make_env(make_task("household", difficulty=difficulty, n_agents=n_agents, seed=seed, **params))
+    task = make_task(
+        "household", difficulty=difficulty, n_agents=n_agents, seed=seed, **params
+    )
+    env = make_env(task)
     env.tick()
     return env
 

@@ -1,9 +1,7 @@
 """Behavioural tests for the transport and cuisine environments."""
 
-import pytest
-
 from repro.core.beliefs import Beliefs
-from repro.core.types import Fact, Subgoal
+from repro.core.types import Subgoal
 from repro.envs import make_env, make_task
 from repro.envs.cuisine import RECIPES, STAGE_FETCHED, ZONES
 from repro.envs.transport import CARRY_CAPACITY

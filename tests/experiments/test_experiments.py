@@ -9,7 +9,14 @@ benchmarks and EXPERIMENTS.md.
 import pytest
 
 from repro.experiments import fig3_sensitivity, fig6_tokens
-from repro.experiments.common import ExperimentSettings, measure, trials_from_env
+from repro.experiments.common import (
+    ExperimentSettings,
+    GridCell,
+    measure,
+    measure_grid,
+    trials_from_env,
+    workers_from_env,
+)
 from repro.workloads import get_workload
 
 FAST = ExperimentSettings(n_trials=1, base_seed=3, difficulty="easy")
@@ -32,9 +39,46 @@ class TestCommon:
         with pytest.raises(ValueError):
             trials_from_env()
 
+    def test_trials_from_env_strips_whitespace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIALS", "  3 ")
+        assert trials_from_env() == 3
+        monkeypatch.setenv("REPRO_TRIALS", "   ")
+        assert trials_from_env(7) == 7
+
+    def test_workers_from_env_default_and_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert workers_from_env() == 1
+        monkeypatch.setenv("REPRO_WORKERS", " 4 ")
+        assert workers_from_env() == 4
+
+    @pytest.mark.parametrize("raw", ["two", "0", "-3", "2.5"])
+    def test_workers_from_env_validation(self, monkeypatch, raw):
+        monkeypatch.setenv("REPRO_WORKERS", raw)
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            workers_from_env()
+
+    def test_settings_follow_workers_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        settings = ExperimentSettings(n_trials=1)
+        assert settings.executor == "parallel"
+        assert settings.max_workers == 3
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert ExperimentSettings(n_trials=1).executor == "serial"
+
+    def test_settings_reject_unknown_executor(self):
+        with pytest.raises(ValueError):
+            ExperimentSettings(n_trials=1, executor="threads")
+        with pytest.raises(ValueError):
+            ExperimentSettings(n_trials=1, max_workers=0)
+
     def test_measure_runs(self):
         result = measure(get_workload("embodiedgpt").config, FAST)
         assert result.n_trials == 1
+
+    def test_measure_grid_matches_measure(self):
+        configs = [get_workload(name).config for name in ("embodiedgpt", "jarvis-1")]
+        grid_results = measure_grid([GridCell(config=c) for c in configs], FAST)
+        assert grid_results == [measure(c, FAST) for c in configs]
 
 
 class TestFig3Structure:

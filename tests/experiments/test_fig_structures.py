@@ -6,7 +6,6 @@ monkeypatching the module-level sweep constants.
 
 import pytest
 
-from repro.core.clock import ModuleName
 from repro.experiments import (
     ablations,
     fig2_latency,

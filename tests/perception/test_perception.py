@@ -32,9 +32,13 @@ class TestRegistry:
 
     def test_validation(self):
         with pytest.raises(ValueError):
-            PerceptionProfile(name="x", latency_s=0.1, recall=0.0, mislabel_rate=0.0, modality="rgb")
+            PerceptionProfile(
+                name="x", latency_s=0.1, recall=0.0, mislabel_rate=0.0, modality="rgb"
+            )
         with pytest.raises(ValueError):
-            PerceptionProfile(name="x", latency_s=0.1, recall=0.9, mislabel_rate=1.0, modality="rgb")
+            PerceptionProfile(
+                name="x", latency_s=0.1, recall=0.9, mislabel_rate=1.0, modality="rgb"
+            )
 
 
 class TestDetection:
