@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench lint format suite
+.PHONY: test bench bench-hotpath lint format suite
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -12,6 +12,13 @@ test:
 bench:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} REPRO_WORKERS=$${REPRO_WORKERS:-2} \
 		$(PYTHON) -m pytest benchmarks/ -x -q
+
+# Episode hot-path speedup (optimized vs reference), with the byte-identical
+# equivalence assert and the >20%-regression gate against
+# benchmarks/baselines/BENCH_hotpath.json.  Emits BENCH_hotpath.json.
+bench-hotpath:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
+		$(PYTHON) -m pytest benchmarks/bench_hotpath.py -x -q -s
 
 lint:
 	ruff check .

@@ -1,0 +1,166 @@
+"""Episode hot-path: optimized vs reference step loop on one process.
+
+PR 1 parallelized trial *grids*; this benchmark tracks the orthogonal
+axis — how fast a *single* episode's step loop runs.  The same smoke grid
+(single-agent modular, centralized, and dialogue-heavy decentralized
+systems, stretched to hard tasks and large memory windows where per-step
+overheads compound) is measured twice in-process: once on the reference
+path (the seed implementation: linear memory scans, per-call prompt
+re-rendering and re-tokenization) and once on the optimized hot path
+(:mod:`repro.core.hotpath`: indexed retrieval, interned sections,
+incremental token accounting).
+
+Two contracts are enforced, mirroring ``bench_executor``:
+
+- **equivalence** — every aggregate must be byte-identical across paths
+  (the optimization may not change a single reproduced number), and
+- **speed** — the optimized path must hold a >= 1.5x speedup, plus stay
+  within 20 % of the committed baseline ratio in
+  ``benchmarks/baselines/BENCH_hotpath.json`` (the ratio is
+  machine-relative, so it gates regressions portably where raw wall-clock
+  could not).
+
+The run emits ``BENCH_hotpath.json`` next to the working directory for
+CI artifacts/inspection.  Set ``REPRO_PROFILE=1`` to append the host-time
+per-(module, phase) breakdown to the report.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import emit
+
+from repro.core import hotpath
+from repro.core.config import MemoryConfig
+from repro.core.metrics import host_profile_report
+from repro.experiments.common import GridCell, measure_grid
+from repro.llm.tokenizer import count_tokens
+from repro.workloads.registry import get_workload
+
+#: Interleaved timing rounds per path; min-of-rounds defeats transient
+#: host noise (CI runners throttle) without inflating smoke runtime.
+ROUNDS = 3
+
+SPEEDUP_FLOOR = 1.5
+#: Allowed regression against the committed baseline ratio (20 %).
+BASELINE_TOLERANCE = 0.8
+
+BASELINE_PATH = Path(__file__).parent / "baselines" / "BENCH_hotpath.json"
+OUTPUT_PATH = Path("BENCH_hotpath.json")
+
+
+def _capped(config, capacity_steps: int):
+    """The workload config with its memory window stretched."""
+    dual = config.memory.dual if config.memory is not None else False
+    return replace(
+        config, memory=MemoryConfig(capacity_steps=capacity_steps, dual=dual)
+    )
+
+
+def _grid() -> list[GridCell]:
+    """Smoke grid spanning the paradigm mix at hot-path-stressing scale."""
+    return [
+        # Single-agent modular pipeline, large retention window.
+        GridCell(config=_capped(get_workload("jarvis-1").config, 90), difficulty="hard"),
+        # Centralized joint planning at team scale.
+        GridCell(
+            config=_capped(get_workload("mindagent").config, 90),
+            difficulty="hard",
+            n_agents=8,
+        ),
+        # Decentralized dialogue (CoELA-style): the token/latency blowup
+        # of Figs. 6-7 and the heaviest reference-path cells.
+        GridCell(config=get_workload("coela").config, difficulty="hard", n_agents=6),
+        GridCell(config=get_workload("dmas").config, difficulty="hard", n_agents=6),
+        # Combined-optimizations system (dual memory, comm filter).
+        GridCell(config=get_workload("combo").config, difficulty="hard", n_agents=4),
+    ]
+
+
+def _timed(grid, settings, fast: bool) -> tuple[list, float]:
+    """Time one pass of the grid with a cold token cache.
+
+    The bench repeats *identical* seeded episodes, so without the clear
+    the second reference round would find every one of its per-step
+    joined texts already tokenized — a 100 % cache-hit regime no real
+    sweep (whose texts differ per seed and episode) ever sees.  Both
+    paths start each round cold: the optimized path re-warms from its
+    small shared piece vocabulary, which is exactly its design advantage.
+    """
+    count_tokens.cache_clear()
+    with hotpath.override(fast):
+        started = time.perf_counter()
+        results = measure_grid(grid, settings)
+        return results, time.perf_counter() - started
+
+
+def test_bench_hotpath_speedup(benchmark, settings):
+    grid = _grid()
+    serial = replace(settings, executor="serial", max_workers=1)
+
+    # Warm both paths outside the timed rounds (imports, interned
+    # sections, tokenizer cache) so rounds measure steady state.
+    reference, _ = _timed(grid, serial, fast=False)
+    optimized, _ = _timed(grid, serial, fast=True)
+    assert optimized == reference  # contract before any timing
+
+    reference_seconds = []
+    optimized_seconds = []
+    for _round in range(ROUNDS):
+        ref_results, ref_elapsed = _timed(grid, serial, fast=False)
+        opt_results, opt_elapsed = _timed(grid, serial, fast=True)
+        assert ref_results == reference and opt_results == reference
+        reference_seconds.append(ref_elapsed)
+        optimized_seconds.append(opt_elapsed)
+
+    # One extra optimized pass through pytest-benchmark's reporting.
+    with hotpath.override(True):
+        benchmark.pedantic(measure_grid, args=(grid, serial), rounds=1, iterations=1)
+
+    ref_best = min(reference_seconds)
+    opt_best = min(optimized_seconds)
+    speedup = ref_best / max(1e-9, opt_best)
+
+    baseline_speedup = None
+    if BASELINE_PATH.exists():
+        baseline_speedup = json.loads(BASELINE_PATH.read_text())["speedup"]
+
+    payload = {
+        "grid_cells": len(grid),
+        "trials_per_cell": serial.n_trials,
+        "rounds": ROUNDS,
+        "reference_seconds": ref_best,
+        "optimized_seconds": opt_best,
+        "speedup": round(speedup, 3),
+        "baseline_speedup": baseline_speedup,
+        "byte_identical": True,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    body = (
+        f"grid: {len(grid)} cells x {serial.n_trials} trials "
+        f"({len(grid) * serial.n_trials} episodes), min of {ROUNDS} rounds\n"
+        f"reference: {ref_best:6.2f}s   (REPRO_HOTPATH=0: linear scans, re-tokenization)\n"
+        f"optimized: {opt_best:6.2f}s   (indexed memory, incremental tokens)\n"
+        f"speedup:   {speedup:5.2f}x   (aggregates byte-identical)\n"
+        f"baseline:  {baseline_speedup}x committed, "
+        f"gate at {BASELINE_TOLERANCE:.0%} of it"
+    )
+    profile = host_profile_report(top=12)
+    if profile is not None:
+        body += "\n" + profile
+    emit("Episode hot path (reference vs optimized)", body)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"hot-path speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+    if baseline_speedup is not None:
+        floor = BASELINE_TOLERANCE * baseline_speedup
+        assert speedup >= floor, (
+            f"hot-path speedup {speedup:.2f}x regressed >20% against the "
+            f"committed baseline {baseline_speedup}x (gate: {floor:.2f}x)"
+        )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.core import hotpath
 from repro.core.beliefs import Beliefs
 from repro.core.clock import SimClock
 from repro.core.config import SystemConfig
@@ -154,6 +155,12 @@ class EmbodiedAgent:
         self.config = config
         self.state = AgentState()
         self._static_facts = env.static_facts() if hasattr(env, "static_facts") else []
+        # Static facts never change within an episode; on the hot path the
+        # memoryless perceive() branch copies this prebuilt belief base
+        # instead of re-inserting every static fact each step.
+        self._static_beliefs = (
+            Beliefs.from_facts(self._static_facts) if hotpath.enabled() else None
+        )
         self.context = ModuleContext(
             agent=name, clock=clock, metrics=metrics, rng=rng_for(seed, name, "modules")
         )
@@ -228,8 +235,14 @@ class EmbodiedAgent:
                 dialogue=retrieved.dialogue,
                 retrieved=retrieved,
             )
-        beliefs = Beliefs.from_facts(self._static_facts)
-        beliefs.update(facts)
+        if self._static_beliefs is not None:
+            # Freshly sensed facts carry this step's provenance and so
+            # always win their slots against the static base.
+            beliefs = self._static_beliefs.copy()
+            beliefs.overwrite(facts)
+        else:
+            beliefs = Beliefs.from_facts(self._static_facts)
+            beliefs.update(facts)
         return PerceptionBundle(
             observation=observation,
             current_facts=facts,

@@ -51,6 +51,18 @@ class Beliefs:
                 self._slots[key] = fact
         return novel
 
+    def overwrite(self, facts: Iterable[Fact]) -> None:
+        """Bulk-merge facts that are guaranteed to win their slots.
+
+        Equivalent to :meth:`update` when every incoming fact has a unique
+        slot within ``facts`` and provenance at least as recent as the
+        slot's current value — the contract of a newest-wins retrieval
+        merged over a static belief base.  Skips the per-fact novelty
+        bookkeeping (bulk callers don't read it), letting the merge run as
+        one C-level dict update on the hot path.
+        """
+        self._slots.update((fact.key(), fact) for fact in facts)
+
     def value(self, subject: str, relation: str) -> str | None:
         fact = self._slots.get((subject, relation))
         return fact.value if fact is not None else None

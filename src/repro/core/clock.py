@@ -6,13 +6,28 @@ six building-block modules (Fig. 2).  We reproduce that accounting on a
 tags the span with ``(module, phase)``.  This makes latency measurements
 deterministic and host-independent while preserving the paper's breakdown
 structure exactly.
+
+Host-time probe (``REPRO_PROFILE``): orthogonally to the virtual clock,
+the process can record how much *real* CPU time the Python hot path spends
+producing each modeled operation.  Every ``advance`` marks the host clock
+and attributes the time elapsed since the previous mark to the advanced
+``(module, phase)`` — i.e. the Python work that *prepared* a modeled
+operation is charged to that operation.  The probe is for performance
+diagnosis only: it never touches the virtual clock, metrics, or results,
+so enabling it cannot perturb reproduction numbers.  Enable with
+``REPRO_PROFILE=1`` (or :func:`enable_host_profiling`), then read
+:func:`host_profiler` — see :func:`repro.core.metrics.host_profile_report`
+for a formatted view.
 """
 
 from __future__ import annotations
 
 import enum
+import os
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 
 class ModuleName(enum.Enum):
@@ -45,9 +60,14 @@ LLM_MODULES = frozenset(
 )
 
 
-@dataclass(frozen=True)
-class Span:
-    """A single attributed latency interval on the virtual clock."""
+class Span(NamedTuple):
+    """A single attributed latency interval on the virtual clock.
+
+    A named tuple rather than a dataclass: episodes record one span per
+    modeled operation (thousands per episode), and tuple construction
+    keeps this bookkeeping off the profile while preserving the same
+    field access, equality, and immutability.
+    """
 
     module: ModuleName
     phase: str
@@ -58,6 +78,81 @@ class Span:
     @property
     def end(self) -> float:
         return self.start + self.duration
+
+
+# --------------------------------------------------------------------- #
+# Host-time probe (REPRO_PROFILE)
+# --------------------------------------------------------------------- #
+
+
+class HostProfiler:
+    """Accumulates real elapsed time between virtual-clock marks.
+
+    Keys are ``(module, phase)`` string pairs.  Single-threaded by design
+    (one probe per process); the suite's concurrent-section mode shares
+    one profiler, so enable it only for serial diagnosis runs.
+    """
+
+    __slots__ = ("seconds", "marks", "_last")
+
+    def __init__(self) -> None:
+        self.seconds: dict[tuple[str, str], float] = defaultdict(float)
+        self.marks: dict[tuple[str, str], int] = defaultdict(int)
+        self._last = time.perf_counter()
+
+    def mark(self, module: str, phase: str) -> None:
+        """Attribute time since the previous mark to ``(module, phase)``."""
+        now = time.perf_counter()
+        key = (module, phase)
+        self.seconds[key] += now - self._last
+        self.marks[key] += 1
+        self._last = now
+
+    def sync(self) -> None:
+        """Restart the interval without attributing the elapsed time.
+
+        Called at episode boundaries so inter-episode work (environment
+        construction, result aggregation) is not billed to the first
+        phase of the next episode.
+        """
+        self._last = time.perf_counter()
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.marks.clear()
+        self._last = time.perf_counter()
+
+    def snapshot(self) -> dict[tuple[str, str], tuple[float, int]]:
+        """Current totals: ``(module, phase) -> (seconds, marks)``."""
+        return {key: (self.seconds[key], self.marks[key]) for key in self.seconds}
+
+
+def _profile_from_env() -> bool:
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() in {
+        "1",
+        "true",
+        "on",
+        "yes",
+    }
+
+
+_HOST_PROFILER: HostProfiler | None = HostProfiler() if _profile_from_env() else None
+
+
+def host_profiler() -> HostProfiler | None:
+    """The process-wide host-time probe, or ``None`` when disabled."""
+    return _HOST_PROFILER
+
+
+def enable_host_profiling(enabled: bool = True) -> HostProfiler | None:
+    """Turn the host-time probe on/off in-process; returns the profiler."""
+    global _HOST_PROFILER
+    if enabled:
+        if _HOST_PROFILER is None:
+            _HOST_PROFILER = HostProfiler()
+    else:
+        _HOST_PROFILER = None
+    return _HOST_PROFILER
 
 
 @dataclass
@@ -99,6 +194,8 @@ class SimClock:
             self._parallel_front = max(self._parallel_front, self.now + duration)
         else:
             self.now += duration
+        if _HOST_PROFILER is not None:
+            _HOST_PROFILER.mark(module.value, phase)
         return span
 
     def wait(self, duration: float) -> None:

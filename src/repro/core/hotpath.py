@@ -1,0 +1,64 @@
+"""Runtime switch between the optimized and the seed episode hot path.
+
+The episode step loop has two implementations of its inner machinery:
+
+- the **optimized** path (default): token counts maintained incrementally,
+  prompt sections interned and rendered once, memory retrieval served from
+  step-indexed stores;
+- the **reference** path: the seed implementation, kept verbatim — linear
+  window scans and per-access re-tokenization.
+
+Both produce byte-identical metrics (asserted by the golden equivalence
+suite and by ``benchmarks/bench_hotpath.py``); the reference path exists
+so the equivalence is *checkable* and the speedup *measurable*, and as an
+escape hatch if an optimization is ever suspect.
+
+Selection: the ``REPRO_HOTPATH`` environment variable (default on; set to
+``0``/``off``/``false``/``no`` to disable), overridable in-process with
+:func:`override`.  Components capture the flag when they are constructed
+(one flag read per episode, not per step), so toggling mid-episode has no
+effect on that episode.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_FALSE_VALUES = frozenset({"0", "off", "false", "no"})
+
+
+def _from_env() -> bool:
+    return os.environ.get("REPRO_HOTPATH", "").strip().lower() not in _FALSE_VALUES
+
+
+_enabled = _from_env()
+
+
+def enabled() -> bool:
+    """Is the optimized hot path active in this process?"""
+    return _enabled
+
+
+def set_enabled(value: bool) -> None:
+    """Set the process-local hot-path flag (workers re-read the env var)."""
+    global _enabled
+    _enabled = bool(value)
+
+
+@contextmanager
+def override(value: bool) -> Iterator[None]:
+    """Temporarily force the hot path on or off (tests and benchmarks).
+
+    Process-local: worker processes of a parallel executor initialize
+    from ``REPRO_HOTPATH`` instead, so parallel runs that need the
+    reference path must export the variable before the pool is created.
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(value)
+    try:
+        yield
+    finally:
+        _enabled = previous

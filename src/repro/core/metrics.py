@@ -12,7 +12,13 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 from statistics import mean
 
-from repro.core.clock import LLM_MODULES, MODULE_ORDER, ModuleName, SimClock
+from repro.core.clock import (
+    LLM_MODULES,
+    MODULE_ORDER,
+    ModuleName,
+    SimClock,
+    host_profiler,
+)
 from repro.core.errors import FaultKind
 from repro.core.types import StepRecord
 
@@ -156,6 +162,35 @@ class MetricsCollector:
             records=self.records,
             token_samples=self.token_samples,
         )
+
+
+def host_profile_report(top: int | None = None) -> str | None:
+    """Readable breakdown of the ``REPRO_PROFILE`` host-time probe.
+
+    Returns ``None`` when profiling is disabled.  Rows are real (host)
+    seconds of Python work attributed per ``(module, phase)`` of the
+    virtual clock, sorted by cost — the tool for finding where the episode
+    *implementation* spends its time, as opposed to the modeled latencies
+    the figures report.  Host numbers live outside :class:`EpisodeResult`
+    on purpose: results stay byte-identical with the probe on or off.
+    """
+    profiler = host_profiler()
+    if profiler is None:
+        return None
+    rows = sorted(profiler.snapshot().items(), key=lambda item: -item[1][0])
+    if top is not None:
+        rows = rows[:top]
+    if not rows:
+        return "host profile: no marks recorded"
+    width = max(len(f"{module}/{phase}") for (module, phase), _ in rows)
+    lines = ["host-time per (module, phase):"]
+    for (module, phase), (seconds, marks) in rows:
+        mean_us = 1e6 * seconds / max(1, marks)
+        lines.append(
+            f"  {f'{module}/{phase}':<{width}}  "
+            f"{seconds * 1e3:9.2f} ms  {marks:7d} marks  {mean_us:8.1f} us/mark"
+        )
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

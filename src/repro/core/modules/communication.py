@@ -97,7 +97,7 @@ class CommunicationModule:
             PromptBuilder(COMMUNICATOR_SYSTEM_TEXT)
             .memory(payload)
             .dialogue(dialogue)
-            .extra(
+            .static_extra(
                 "instruction",
                 "Compose a short update for your teammates about what you "
                 "found and what you plan to do next.",

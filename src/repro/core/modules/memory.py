@@ -16,16 +16,33 @@ The module also applies *negative evidence*: if the agent is at a location
 where memory says an object should be, but the current observation does
 not show it, the stale belief is dropped — the perception-level correction
 that keeps no-reflection agents from looping forever.
+
+Hot-path retrieval (:mod:`repro.core.hotpath`): the *modeled* retrieval
+latency is unchanged — it is still ``base + per_entry × scanned`` over the
+same scanned-entry count, so Fig. 5's curves are byte-identical — but the
+*host* cost of producing a retrieval no longer re-scans the whole episode
+history every step.  Observations keep a per-slot history index (newest
+entry per ``(subject, relation)``, insertion-ordered within equal steps)
+and a per-step count table, so newest-wins resolution is O(#slots) and the
+scanned-entry count is O(1) amortized; action and dialogue stores append
+in non-decreasing step order, so their retention windows are bisected, not
+filtered.  Confused retrievals (and any out-of-order access the guards
+detect) fall back to the seed's linear scan, which stays byte-identical by
+construction.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
+from collections import Counter
 from dataclasses import dataclass
+from operator import attrgetter
 
+from repro.core import hotpath
 from repro.core.beliefs import Beliefs
 from repro.core.clock import ModuleName
 from repro.core.modules.base import ModuleContext
-from repro.core.types import Fact, Message, Subgoal
+from repro.core.types import Fact, Message, Subgoal, _memo_describe
 
 #: Retrieval latency model: fixed overhead + per-scanned-entry cost.
 RETRIEVE_BASE_SECONDS = 0.02
@@ -39,6 +56,8 @@ CONFUSION_ONSET_STEPS = 40
 CONFUSION_PROB_PER_STEP = 0.035
 CONFUSION_PROB_CAP = 0.5
 
+_FACT_STEP = attrgetter("step")
+
 
 @dataclass(frozen=True)
 class ActionRecord:
@@ -49,8 +68,12 @@ class ActionRecord:
     success: bool
 
     def describe(self) -> str:
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
         outcome = "succeeded" if self.success else "failed"
-        return f"at step {self.step} you chose to {self.subgoal.describe()} and it {outcome}"
+        text = f"at step {self.step} you chose to {self.subgoal.describe()} and it {outcome}"
+        return _memo_describe(self, text)
 
 
 @dataclass(frozen=True)
@@ -86,6 +109,25 @@ class MemoryModule:
         # Incremental slot index over _observations, used for O(payload)
         # novelty checks on message ingestion.
         self._slot_index = Beliefs()
+        # --- hot-path indices (maintained only when the fast path is on) ---
+        self._fast = hotpath.enabled()
+        #: Per-slot observation history, each list sorted by fact step with
+        #: ties in insertion order — the last entry is the newest-wins
+        #: resolution candidate for its slot.
+        self._slot_history: dict[tuple[str, str], list[Fact]] = {}
+        #: #observations per fact step, for O(1) window-size accounting.
+        self._obs_step_counts: Counter[int] = Counter()
+        #: Window-eviction accumulator: #observations with step below
+        #: ``_evict_start`` (the window start already accounted for).
+        self._evict_start = 0
+        self._evicted_obs = 0
+        #: Append-order step columns of the action/dialogue stores plus a
+        #: monotonicity guard; bisecting them is only valid while sorted.
+        self._action_steps: list[int] = []
+        self._dialogue_steps: list[int] = []
+        self._steps_sorted = True
+        #: Static facts pre-assembled as a belief base, copied per step.
+        self._static_beliefs = Beliefs.from_facts(self._static)
 
     # ------------------------------------------------------------------ #
     # Stores
@@ -93,11 +135,18 @@ class MemoryModule:
 
     def store_observation(self, facts: tuple[Fact, ...]) -> None:
         self._observations.extend(facts)
+        if self._fast:
+            for fact in facts:
+                self._index_fact(fact)
         self._slot_index.update(facts)
         self._charge(STORE_SECONDS, "store_observation")
 
     def store_action(self, step: int, subgoal: Subgoal, success: bool) -> None:
         self._actions.append(ActionRecord(step=step, subgoal=subgoal, success=success))
+        if self._fast:
+            if self._action_steps and step < self._action_steps[-1]:
+                self._steps_sorted = False
+            self._action_steps.append(step)
         self._charge(STORE_SECONDS, "store_action")
 
     def store_message(self, message: Message) -> int:
@@ -105,8 +154,32 @@ class MemoryModule:
         novel = self._slot_index.update(message.facts)
         self._dialogue.append(message)
         self._observations.extend(message.facts)
+        if self._fast:
+            if self._dialogue_steps and message.step < self._dialogue_steps[-1]:
+                self._steps_sorted = False
+            self._dialogue_steps.append(message.step)
+            for fact in message.facts:
+                self._index_fact(fact)
         self._charge(STORE_SECONDS, "store_dialogue")
         return novel
+
+    def _index_fact(self, fact: Fact) -> None:
+        """Maintain the slot-history and step-count indices for one fact."""
+        self._obs_step_counts[fact.step] += 1
+        if fact.step < self._evict_start:
+            self._evicted_obs += 1
+        key = (fact.subject, fact.relation)
+        entries = self._slot_history.get(key)
+        if entries is None:
+            self._slot_history[key] = [fact]
+        elif fact.step >= entries[-1].step:
+            # The common case: first-hand observations arrive in step order.
+            entries.append(fact)
+        else:
+            # Message facts can carry older provenance; keep the list
+            # sorted by step with ties in insertion order (insort-right
+            # matches the stable sort of the reference implementation).
+            insort(entries, fact, key=_FACT_STEP)
 
     # ------------------------------------------------------------------ #
     # Retrieval
@@ -118,6 +191,12 @@ class MemoryModule:
     def retrieve(self, step: int) -> RetrievedMemory:
         """Fetch everything within the retention window, with latency."""
         start = self._window_start(step)
+        if self._fast and self._steps_sorted:
+            return self._retrieve_indexed(step, start)
+        return self._retrieve_linear(step, start)
+
+    def _retrieve_linear(self, step: int, start: int) -> RetrievedMemory:
+        """The seed implementation: full scans of every store."""
         observations = [fact for fact in self._observations if fact.step >= start]
         actions = [record for record in self._actions if record.step >= start]
         dialogue = [message for message in self._dialogue if message.step >= start]
@@ -127,12 +206,7 @@ class MemoryModule:
         latency = RETRIEVE_BASE_SECONDS + RETRIEVE_PER_ENTRY_SECONDS * scanned
         self._charge(latency, "retrieve")
 
-        confused = False
-        window_steps = min(step, self.capacity_steps)
-        overflow = window_steps - CONFUSION_ONSET_STEPS
-        if overflow > 0 and not self.dual:
-            probability = min(CONFUSION_PROB_CAP, overflow * CONFUSION_PROB_PER_STEP)
-            confused = bool(self.context.rng.random() < probability)
+        confused = self._draw_confusion(step)
         facts = self._resolve_slots(observations, confused)
         return RetrievedMemory(
             facts=facts,
@@ -141,6 +215,77 @@ class MemoryModule:
             scanned_entries=scanned,
             confused=confused,
         )
+
+    def _retrieve_indexed(self, step: int, start: int) -> RetrievedMemory:
+        """Index-served retrieval: same scanned count, same modeled latency."""
+        scanned = self._observations_in_window(start)
+        actions = self._actions[bisect_left(self._action_steps, start) :]
+        dialogue = self._dialogue[bisect_left(self._dialogue_steps, start) :]
+        scanned += len(actions) + len(dialogue)
+        if not self.dual:
+            scanned += len(self._static)
+        latency = RETRIEVE_BASE_SECONDS + RETRIEVE_PER_ENTRY_SECONDS * scanned
+        self._charge(latency, "retrieve")
+
+        confused = self._draw_confusion(step)
+        if confused:
+            # Confusion needs the full in-window history (which slots are
+            # contested, in first-occurrence order); take the exact seed
+            # path so the extra rng draw sees identical inputs.
+            window = [fact for fact in self._observations if fact.step >= start]
+            facts = self._resolve_slots(window, confused=True)
+        else:
+            facts = self._resolve_from_index(start)
+        return RetrievedMemory(
+            facts=facts,
+            action_records=actions,
+            dialogue=dialogue,
+            scanned_entries=scanned,
+            confused=confused,
+        )
+
+    def _draw_confusion(self, step: int) -> bool:
+        """One rng draw shared by both retrieval paths (same draw order)."""
+        window_steps = min(step, self.capacity_steps)
+        overflow = window_steps - CONFUSION_ONSET_STEPS
+        if overflow > 0 and not self.dual:
+            probability = min(CONFUSION_PROB_CAP, overflow * CONFUSION_PROB_PER_STEP)
+            return bool(self.context.rng.random() < probability)
+        return False
+
+    def _observations_in_window(self, start: int) -> int:
+        """#stored observation facts with ``step >= start`` in O(1) amortized.
+
+        The retention window's start is non-decreasing over an episode, so
+        evicted counts accumulate; a backwards query (tests may probe one)
+        recounts from the per-step table instead of corrupting the
+        accumulator.
+        """
+        if start >= self._evict_start:
+            for evicted_step in range(self._evict_start, start):
+                self._evicted_obs += self._obs_step_counts.get(evicted_step, 0)
+            self._evict_start = start
+            below = self._evicted_obs
+        else:
+            below = sum(
+                count for s, count in self._obs_step_counts.items() if s < start
+            )
+        return len(self._observations) - below
+
+    def _resolve_from_index(self, start: int) -> list[Fact]:
+        """Newest-wins resolution straight from the slot-history index.
+
+        A slot's newest fact overall is also its newest *in-window* fact
+        whenever it is in the window at all (the window is a suffix of the
+        step axis), so resolution never touches older entries.
+        """
+        resolved = [
+            entries[-1]
+            for entries in self._slot_history.values()
+            if entries[-1].step >= start
+        ]
+        resolved.sort(key=lambda fact: (fact.subject, fact.relation))
+        return resolved
 
     def _resolve_slots(self, observations: list[Fact], confused: bool) -> list[Fact]:
         """Newest-wins slot resolution; confusion lets one old value win.
@@ -180,9 +325,19 @@ class MemoryModule:
         """Static + retrieved + current facts, with negative evidence."""
         if retrieved is None:
             retrieved = self.retrieve(step)
-        beliefs = Beliefs.from_facts(self._static)
-        beliefs.update(retrieved.facts)
-        beliefs.update(current_facts)
+        if self._fast:
+            # Resolved facts hold one entry per slot with step >= 0, so
+            # they always win against the static base (step 0); current
+            # facts carry this step's provenance, so they win against
+            # anything retrieved.  Plain dict merges equal Beliefs.update
+            # for both.
+            beliefs = self._static_beliefs.copy()
+            beliefs.overwrite(retrieved.facts)
+            beliefs.overwrite(current_facts)
+        else:
+            beliefs = Beliefs.from_facts(self._static)
+            beliefs.update(retrieved.facts)
+            beliefs.update(current_facts)
         visible_subjects = {fact.subject for fact in current_facts}
         for fact in list(beliefs):
             if (
@@ -195,10 +350,16 @@ class MemoryModule:
 
     def forget(self, subject: str, relation: str) -> None:
         """Belief repair (reflection): drop all stored facts for a slot."""
+        key = (subject, relation)
+        if self._fast:
+            for fact in self._observations:
+                if fact.key() == key:
+                    self._obs_step_counts[fact.step] -= 1
+                    if fact.step < self._evict_start:
+                        self._evicted_obs -= 1
+            self._slot_history.pop(key, None)
         self._observations = [
-            fact
-            for fact in self._observations
-            if not (fact.subject == subject and fact.relation == relation)
+            fact for fact in self._observations if fact.key() != key
         ]
         self._slot_index.forget(subject, relation)
 
@@ -212,6 +373,8 @@ class MemoryModule:
 
     def dialogue_window(self, step: int) -> list[Message]:
         start = self._window_start(step)
+        if self._fast and self._steps_sorted:
+            return self._dialogue[bisect_left(self._dialogue_steps, start) :]
         return [message for message in self._dialogue if message.step >= start]
 
     def _charge(self, seconds: float, phase: str) -> None:

@@ -58,10 +58,7 @@ class PlanningModule:
         builder.memory(memory_facts)
         if action_records:
             recent = action_records[-MAX_ACTION_RECORDS_IN_PROMPT:]
-            builder.extra(
-                "action_history",
-                " ".join(record.describe() + "." for record in recent),
-            )
+            builder.described_list("action_history", recent)
         builder.dialogue(dialogue)
         builder.candidates(candidates)
         return builder.build()

@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 
 from repro.core.agent import EmbodiedAgent, PerceptionBundle
-from repro.core.clock import SimClock
+from repro.core.clock import SimClock, host_profiler
 from repro.core.config import SystemConfig
 from repro.core.errors import FaultKind
 from repro.core.metrics import EpisodeResult, MetricsCollector
@@ -49,6 +49,11 @@ class ParadigmLoop(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def run(self) -> EpisodeResult:
+        profiler = host_profiler()
+        if profiler is not None:
+            # Start the probe's interval at the episode boundary so setup
+            # work is not billed to the first step's first phase.
+            profiler.sync()
         steps = 0
         for step in range(1, self.task.horizon + 1):
             self.env.tick()

@@ -99,7 +99,7 @@ class CentralizedLoop(ParadigmLoop):
         builder.dialogue(central_bundle.dialogue)
         for name, candidates in candidates_by_agent.items():
             builder.candidates(candidates)
-            builder.extra("agent_header", f"Options above are for {name}.")
+            builder.static_extra("agent_header", f"Options above are for {name}.")
         prompt = builder.build()
         prompt_tokens = prompt.tokens
         output_tokens = OUTPUT_TOKENS["plan"] + JOINT_PLAN_TOKENS_PER_AGENT * (

@@ -91,7 +91,7 @@ class HybridLoop(CentralizedLoop):
         builder.dialogue(central_bundle.dialogue)
         for name, candidates in candidates_by_agent.items():
             builder.candidates(candidates)
-            builder.extra("agent_header", f"Options above are for {name}.")
+            builder.static_extra("agent_header", f"Options above are for {name}.")
         prompt = builder.build()
         output_tokens = OUTPUT_TOKENS["plan"] + 45 * (n_agents - 1)
         llm = self.central.planner_llm

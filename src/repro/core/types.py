@@ -11,9 +11,48 @@ them uniformly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any
 
+from repro.core import hotpath
 from repro.core.errors import FaultKind
+
+
+def _memo_describe(obj: object, text: str) -> str:
+    """Cache a ``describe()`` rendering on a frozen instance (hot path only).
+
+    The value types below are frozen dataclasses whose rendering is a pure
+    function of their fields, so the string can be stored once and reused
+    every step the object is re-rendered into a prompt (memory windows and
+    action histories re-render the same instances for many steps).  The
+    cache lives outside the dataclass fields — equality, hashing, and
+    pickled round-trips are unaffected.  On the reference path
+    (:mod:`repro.core.hotpath` disabled) nothing is cached, preserving the
+    seed implementation's per-call rendering cost.
+    """
+    if hotpath.enabled():
+        object.__setattr__(obj, "_described", text)
+    return text
+
+
+#: Environments mint *fresh* ``Fact``/``Subgoal`` instances every step for
+#: recurring world state and candidate actions, so per-instance caches
+#: miss; these value-keyed caches share one rendering per distinct value
+#: instead.  Sizes cover the vocabulary of every shipped environment many
+#: times over while bounding long multi-episode worker processes.
+@lru_cache(maxsize=65536)
+def _render_fact(subject: str, relation: str, value: str) -> str:
+    return f"{subject} {relation.replace('_', ' ')} {value}"
+
+
+@lru_cache(maxsize=65536)
+def _render_subgoal(name: str, target: str, destination: str) -> str:
+    parts = [name.replace("_", " ")]
+    if target:
+        parts.append(target)
+    if destination:
+        parts.append(f"at {destination}")
+    return " ".join(parts)
 
 
 @dataclass(frozen=True)
@@ -33,6 +72,13 @@ class Fact:
 
     def describe(self) -> str:
         """Render the fact as an English clause for prompt construction."""
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
+        if hotpath.enabled():
+            return _memo_describe(
+                self, _render_fact(self.subject, self.relation, self.value)
+            )
         relation_text = self.relation.replace("_", " ")
         return f"{self.subject} {relation_text} {self.value}"
 
@@ -87,6 +133,13 @@ class Subgoal:
     destination: str = ""
 
     def describe(self) -> str:
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
+        if hotpath.enabled():
+            return _memo_describe(
+                self, _render_subgoal(self.name, self.target, self.destination)
+            )
         parts = [self.name.replace("_", " ")]
         if self.target:
             parts.append(self.target)
@@ -127,9 +180,12 @@ class Observation:
     visible_agents: tuple[str, ...] = ()
 
     def describe(self) -> str:
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
         lines = [f"{self.agent} is at {self.position}."]
         lines.extend(fact.describe() + "." for fact in self.facts)
-        return " ".join(lines)
+        return _memo_describe(self, " ".join(lines))
 
 
 @dataclass(frozen=True)
@@ -154,11 +210,14 @@ class Message:
     def describe(self) -> str:
         if self.text:
             return self.text
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
         parts = [f"{self.sender} says:"]
         if self.intent is not None:
             parts.append(f"I will {self.intent.describe()}.")
         parts.extend(fact.describe() + "." for fact in self.facts)
-        return " ".join(parts)
+        return _memo_describe(self, " ".join(parts))
 
 
 @dataclass(frozen=True)

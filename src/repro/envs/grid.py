@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import hotpath
 from repro.planners.astar import AStarResult, astar
 
 Cell = tuple[int, int]
@@ -52,6 +53,12 @@ class RoomGrid:
         self._room_by_name = {room.name: room for room in self.rooms}
         if len(self._room_by_name) != len(self.rooms):
             raise ValueError("duplicate room names")
+        # Walls never change after construction, so a path is a pure
+        # function of (start, goal) — memoized on the hot path.  Results
+        # are immutable (tuple path), so sharing them is safe.
+        self._path_cache: dict[tuple[Cell, Cell], AStarResult] | None = (
+            {} if hotpath.enabled() else None
+        )
 
     def room_named(self, name: str) -> Room:
         try:
@@ -74,13 +81,21 @@ class RoomGrid:
         )
 
     def path(self, start: Cell, goal: Cell) -> AStarResult:
-        return astar(
+        cache = self._path_cache
+        if cache is not None:
+            result = cache.get((start, goal))
+            if result is not None:
+                return result
+        result = astar(
             start=start,
             goal=goal,
             passable=self.passable,
             width=self.width,
             height=self.height,
         )
+        if cache is not None:
+            cache[(start, goal)] = result
+        return result
 
     def random_cell_in(self, room_name: str, rng: np.random.Generator) -> Cell:
         options = [

@@ -5,43 +5,103 @@ task description, current observation, retrieved memory, dialogue history,
 candidate actions).  Sections keep their own token counts so experiments
 can report *where* prompt growth comes from — the paper's Fig. 6 attributes
 growth to repeated memory retrieval and concatenated multi-agent dialogue.
+
+Hot-path accounting (:mod:`repro.core.hotpath`): a section's token count is
+computed once at construction and a prompt's total is maintained
+incrementally on ``add``, so reading ``Prompt.tokens`` on every simulated
+LLM call never re-tokenizes the (growing) prompt text.  The builder goes
+further on the optimized path: stable sections (system preambles, task
+descriptions, fixed instructions) are interned and reused across steps and
+episodes, and sections assembled from many rendered pieces (memory facts,
+dialogue, candidates) are counted *additively* from per-piece cached counts
+— valid because the estimator never merges tokens across the space
+separator (see :mod:`repro.llm.tokenizer`) — instead of re-tokenizing the
+joined text each step.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from functools import lru_cache
 
+from repro.core import hotpath
 from repro.core.types import Candidate, Fact, Message, Observation
 from repro.llm.tokenizer import count_tokens
 
 
 @dataclass(frozen=True)
 class PromptSection:
-    """One named block of prompt text."""
+    """One named block of prompt text.
+
+    ``tokens`` is part of the value and fixed at construction: pass a
+    precomputed count when the caller already knows it (the incremental
+    builder's additive accounting), or let ``__post_init__`` derive it
+    from ``text``.  Either way the count equals ``count_tokens(text)``.
+    """
 
     name: str
     text: str
+    tokens: int = -1  # sentinel: derive from ``text``
 
-    @property
-    def tokens(self) -> int:
-        return count_tokens(self.text)
+    def __post_init__(self) -> None:
+        if self.tokens < 0:
+            object.__setattr__(self, "tokens", count_tokens(self.text))
+
+
+@lru_cache(maxsize=1024)
+def intern_section(name: str, text: str) -> PromptSection:
+    """Shared :class:`PromptSection` for stable (name, text) pairs.
+
+    System preambles, task descriptions, and fixed instructions recur on
+    every step of every episode; interning renders and tokenizes each
+    exactly once per process.  The cache is bounded (distinct stable
+    sections number in the dozens; 1024 leaves room for many custom
+    workloads) and its entries are immutable, so sharing is safe.
+    """
+    return PromptSection(name=name, text=text)
 
 
 @dataclass
 class Prompt:
-    """An ordered collection of prompt sections."""
+    """An ordered collection of prompt sections.
+
+    The token total is maintained incrementally by :meth:`add` /
+    :meth:`append_section`, which are the mutation API.  Out-of-band
+    *growth or shrinkage* of ``sections`` (direct append/remove) is
+    additionally detected by a length check and triggers a full recount;
+    an in-place same-length *replacement* bypasses the guard — replace
+    sections by rebuilding the prompt, not by item assignment.
+    """
 
     sections: list[PromptSection] = field(default_factory=list)
+    _total: int = field(default=0, init=False, repr=False, compare=False)
+    _counted: int = field(default=0, init=False, repr=False, compare=False)
 
     def add(self, name: str, text: str) -> "Prompt":
         """Append a section (empty text is skipped) and return self."""
         if text:
-            self.sections.append(PromptSection(name=name, text=text))
+            self.append_section(PromptSection(name=name, text=text))
         return self
+
+    def append_section(self, section: PromptSection) -> "Prompt":
+        """Append a prebuilt section, keeping the running total current."""
+        self._sync()
+        self.sections.append(section)
+        self._total += section.tokens
+        self._counted += 1
+        return self
+
+    def _sync(self) -> None:
+        """Recount if ``sections`` grew or shrank behind the cache's back."""
+        if self._counted != len(self.sections):
+            self._total = sum(section.tokens for section in self.sections)
+            self._counted = len(self.sections)
 
     @property
     def tokens(self) -> int:
-        return sum(section.tokens for section in self.sections)
+        self._sync()
+        return self._total
 
     def tokens_by_section(self) -> dict[str, int]:
         totals: dict[str, int] = {}
@@ -59,6 +119,34 @@ class Prompt:
 #: truncation, as the benchmarked systems do).
 MAX_DIALOGUE_MESSAGES = 40
 
+#: Candidate-line scaffolding, grown on demand: ``"(i) "`` prefixes and
+#: their token costs — "(" and ")" are one token each plus one per index
+#: digit — so enumeration never re-formats or re-counts per step.
+#: Published as ONE tuple global so growth is a single atomic store: the
+#: suite's ``--concurrent-sections`` mode runs episodes on threads of one
+#: process, and a reader must always see a matched, fully built pair.
+_INDEX_SCAFFOLD: tuple[list[str], list[int]] = ([], [])
+_INDEX_LOCK = threading.Lock()
+
+
+def _index_scaffold(upto: int) -> tuple[list[str], list[int]]:
+    """Prefix/token tables covering at least ``upto`` candidate indices."""
+    global _INDEX_SCAFFOLD
+    prefixes, tokens = _INDEX_SCAFFOLD
+    if upto <= len(prefixes):
+        return prefixes, tokens
+    with _INDEX_LOCK:
+        prefixes, tokens = _INDEX_SCAFFOLD
+        if upto > len(prefixes):
+            prefixes = prefixes + [
+                f"({index}) " for index in range(len(prefixes), upto)
+            ]
+            tokens = tokens + [
+                2 + len(str(index)) for index in range(len(tokens), upto)
+            ]
+            _INDEX_SCAFFOLD = (prefixes, tokens)
+        return prefixes, tokens
+
 
 class PromptBuilder:
     """Fluent builder producing :class:`Prompt` objects from sim objects.
@@ -68,14 +156,27 @@ class PromptBuilder:
     memory rendered as natural-language facts, the (growing) dialogue
     history, and finally the enumerated action candidates — the paper's
     "formalizing the action list" (Sec. II-A).
+
+    On the optimized hot path (captured at construction) stable sections
+    are interned and piecewise sections are token-counted additively from
+    cached per-piece counts; on the reference path every section is built
+    and tokenized exactly as the seed code did.  Both paths produce
+    sections with identical text and token counts.
     """
 
     def __init__(self, system_text: str = "", task_text: str = "") -> None:
         self._prompt = Prompt()
+        self._fast = hotpath.enabled()
         if system_text:
-            self._prompt.add("system", system_text)
+            self._static("system", system_text)
         if task_text:
-            self._prompt.add("task", task_text)
+            self._static("task", task_text)
+
+    def _static(self, name: str, text: str) -> None:
+        if self._fast:
+            self._prompt.append_section(intern_section(name, text))
+        else:
+            self._prompt.add(name, text)
 
     def observation(self, observation: Observation | None) -> "PromptBuilder":
         if observation is not None:
@@ -84,8 +185,26 @@ class PromptBuilder:
 
     def memory(self, facts: list[Fact]) -> "PromptBuilder":
         if facts:
-            text = " ".join(fact.describe() + "." for fact in facts)
-            self._prompt.add("memory", text)
+            self.described_list("memory", facts)
+        return self
+
+    def described_list(self, name: str, items) -> "PromptBuilder":
+        """Add a section of period-terminated ``describe()`` renderings.
+
+        Renders ``item.describe() + "."`` for each item, space-joined —
+        the shape shared by memory facts and action histories.  The fast
+        path counts tokens additively (each rendered piece plus one token
+        for its period) instead of re-tokenizing the joined text.
+        """
+        if not items:
+            return self
+        parts = [item.describe() for item in items]
+        text = " ".join(part + "." for part in parts)
+        if self._fast:
+            tokens = sum(count_tokens(part) for part in parts) + len(parts)
+            self._prompt.append_section(PromptSection(name, text, tokens))
+        else:
+            self._prompt.add(name, text)
         return self
 
     def dialogue(self, messages: list[Message]) -> "PromptBuilder":
@@ -97,12 +216,30 @@ class PromptBuilder:
         """
         if messages:
             recent = messages[-MAX_DIALOGUE_MESSAGES:]
-            text = " ".join(message.describe() for message in recent)
-            self._prompt.add("dialogue", text)
+            parts = [message.describe() for message in recent]
+            text = " ".join(parts)
+            if self._fast:
+                tokens = sum(count_tokens(part) for part in parts)
+                self._prompt.append_section(PromptSection("dialogue", text, tokens))
+            else:
+                self._prompt.add("dialogue", text)
         return self
 
     def candidates(self, candidates: list[Candidate]) -> "PromptBuilder":
-        if candidates:
+        if not candidates:
+            return self
+        if self._fast:
+            prefixes, index_tokens = _index_scaffold(len(candidates))
+            lines = []
+            tokens = 0
+            for index, candidate in enumerate(candidates):
+                described = candidate.subgoal.describe()
+                lines.append(prefixes[index] + described)
+                tokens += index_tokens[index] + count_tokens(described)
+            self._prompt.append_section(
+                PromptSection("candidates", " ".join(lines), tokens)
+            )
+        else:
             lines = [
                 f"({index}) {candidate.subgoal.describe()}"
                 for index, candidate in enumerate(candidates)
@@ -112,6 +249,12 @@ class PromptBuilder:
 
     def extra(self, name: str, text: str) -> "PromptBuilder":
         self._prompt.add(name, text)
+        return self
+
+    def static_extra(self, name: str, text: str) -> "PromptBuilder":
+        """Add a stable section (fixed instruction), interned on the fast path."""
+        if text:
+            self._static(name, text)
         return self
 
     def build(self) -> Prompt:

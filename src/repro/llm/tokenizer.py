@@ -6,12 +6,20 @@ how many tokens a piece of prompt text occupies.  The estimator below uses
 the standard ~4-characters-per-token heuristic refined with a word/number/
 punctuation split, which tracks GPT-style tokenizers within ~10 % on
 English prose — more than enough fidelity for trend reproduction.
+
+A load-bearing property: tokens never span whitespace, so counting is
+*additive over space-joined pieces* —
+``count_tokens(a + " " + b) == count_tokens(a) + count_tokens(b)`` for any
+``a``/``b``.  The incremental prompt builder relies on this to account for
+a section built from many small pieces without re-tokenizing the joined
+text (property-tested in ``tests/llm/test_tokenizer.py``).
 """
 
 from __future__ import annotations
 
 import re
 from functools import lru_cache
+from typing import Iterable
 
 _WORD_RE = re.compile(r"[A-Za-z]+|\d|[^\sA-Za-z\d]")
 
@@ -19,8 +27,19 @@ _WORD_RE = re.compile(r"[A-Za-z]+|\d|[^\sA-Za-z\d]")
 #: tokenizers average roughly one token per ~6 characters within a word.
 _CHARS_PER_SUBWORD = 6
 
+#: ``count_tokens`` cache bound.  Sized for long-lived worker processes
+#: that run many episodes back to back: the hot path counts short, highly
+#: repetitive pieces (fact/message/subgoal renderings — hundreds of
+#: distinct strings per episode, heavily shared across episodes of the
+#: same environment), so 64k entries of mostly sub-100-byte keys is a few
+#: MB ceiling while keeping the steady-state hit rate near 100 %.  The
+#: bound matters: an *unbounded* cache would grow without limit on the
+#: reference path, whose keys are whole joined sections that differ every
+#: step of every episode.
+_COUNT_CACHE_SIZE = 65536
 
-@lru_cache(maxsize=65536)
+
+@lru_cache(maxsize=_COUNT_CACHE_SIZE)
 def count_tokens(text: str) -> int:
     """Estimate the number of tokens in ``text``.
 
@@ -44,6 +63,16 @@ def count_tokens(text: str) -> int:
     return total
 
 
-def count_tokens_many(texts: list[str]) -> int:
-    """Sum of token counts over ``texts`` (convenience for fact lists)."""
+def count_tokens_many(texts: Iterable[str]) -> int:
+    """Sum of token counts over ``texts`` (convenience for fact lists).
+
+    Accepts any iterable of strings, including single-pass generators:
+
+    >>> count_tokens_many(["pick up", "the red mug"])
+    5
+    >>> count_tokens_many(word for word in "pick up the red mug".split())
+    5
+    >>> count_tokens_many([])
+    0
+    """
     return sum(count_tokens(text) for text in texts)

@@ -143,7 +143,7 @@ class HierarchicalLoop(ParadigmLoop):
         builder.dialogue(lead_bundle.dialogue)
         for name, candidates in candidates_by_agent.items():
             builder.candidates(candidates)
-            builder.extra("agent_header", f"Options above are for {name}.")
+            builder.static_extra("agent_header", f"Options above are for {name}.")
         prompt = builder.build()
         output_tokens = OUTPUT_TOKENS["plan"] + 45 * (len(cluster) - 1)
         latency = lead.planner_llm.profile.call_latency(prompt.tokens, output_tokens)

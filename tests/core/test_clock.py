@@ -116,3 +116,53 @@ class TestConstants:
         assert LLM_MODULES <= set(ModuleName)
         assert ModuleName.PLANNING in LLM_MODULES
         assert ModuleName.EXECUTION not in LLM_MODULES
+
+
+class TestHostProfiler:
+    def test_disabled_by_default(self):
+        from repro.core.clock import host_profiler
+
+        assert host_profiler() is None
+
+    def test_marks_attributed_to_module_and_phase(self, clock):
+        from repro.core.clock import enable_host_profiling, host_profiler
+
+        profiler = enable_host_profiling(True)
+        try:
+            profiler.reset()
+            clock.advance(1.0, ModuleName.PLANNING, phase="plan")
+            clock.advance(0.5, ModuleName.MEMORY, phase="retrieve")
+            clock.advance(0.25, ModuleName.PLANNING, phase="plan")
+            snapshot = profiler.snapshot()
+            assert snapshot[("planning", "plan")][1] == 2
+            assert snapshot[("memory", "retrieve")][1] == 1
+            assert all(seconds >= 0.0 for seconds, _marks in snapshot.values())
+        finally:
+            enable_host_profiling(False)
+        assert host_profiler() is None
+
+    def test_virtual_clock_untouched_by_probe(self, clock):
+        from repro.core.clock import enable_host_profiling
+
+        enable_host_profiling(True)
+        try:
+            clock.advance(2.0, ModuleName.EXECUTION)
+        finally:
+            enable_host_profiling(False)
+        assert clock.now == pytest.approx(2.0)
+        assert len(clock.spans) == 1
+
+    def test_report_formatting(self, clock):
+        from repro.core.clock import enable_host_profiling
+        from repro.core.metrics import host_profile_report
+
+        assert host_profile_report() is None
+        enable_host_profiling(True)
+        try:
+            clock.advance(1.0, ModuleName.PLANNING, phase="plan")
+            report = host_profile_report()
+        finally:
+            enable_host_profiling(False)
+        assert report is not None
+        assert "planning/plan" in report
+        assert "marks" in report

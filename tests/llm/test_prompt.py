@@ -1,7 +1,8 @@
 """Tests for structured prompt assembly."""
 
 from repro.core.types import Candidate, Fact, Message, Observation, Subgoal
-from repro.llm.prompt import Prompt, PromptBuilder
+from repro.llm.prompt import Prompt, PromptBuilder, PromptSection, intern_section
+from repro.llm.tokenizer import count_tokens
 
 
 class TestPrompt:
@@ -27,6 +28,45 @@ class TestPrompt:
     def test_render_contains_headers(self):
         text = Prompt().add("system", "be good").render()
         assert "[system]" in text and "be good" in text
+
+    def test_add_after_tokens_read_never_stale(self):
+        """Reading ``tokens`` then mutating must reflect the mutation."""
+        prompt = Prompt().add("a", "one two")
+        assert prompt.tokens == 2
+        prompt.add("b", "three")
+        assert prompt.tokens == 3
+        prompt.add("c", "four five")
+        assert prompt.tokens == 5
+        assert prompt.tokens_by_section() == {"a": 2, "b": 1, "c": 2}
+
+    def test_out_of_band_sections_growth_recounted(self):
+        """Direct ``sections`` appends (outside add) are detected and recounted.
+
+        Same-length in-place replacement is outside the mutation API and
+        not guarded; growth/shrinkage — the realistic bypass — is.
+        """
+        prompt = Prompt().add("a", "one two")
+        assert prompt.tokens == 2
+        prompt.sections.append(PromptSection("b", "three four five"))
+        assert prompt.tokens == 5
+        prompt.add("c", "six")  # add() after the bypass stays consistent
+        assert prompt.tokens == 6
+
+
+class TestPromptSection:
+    def test_tokens_computed_at_construction(self):
+        section = PromptSection("memory", "the red mug")
+        assert section.tokens == count_tokens("the red mug")
+
+    def test_precomputed_tokens_respected(self):
+        section = PromptSection("memory", "the red mug", tokens=3)
+        assert section.tokens == 3
+
+    def test_interned_sections_shared(self):
+        first = intern_section("system", "be a careful planner")
+        second = intern_section("system", "be a careful planner")
+        assert first is second
+        assert first.tokens == count_tokens("be a careful planner")
 
 
 class TestPromptBuilder:

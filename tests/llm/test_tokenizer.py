@@ -1,8 +1,11 @@
 """Tests for the token estimator."""
 
+import doctest
+
 from hypothesis import given
 from hypothesis import strategies as st
 
+from repro.llm import tokenizer
 from repro.llm.tokenizer import count_tokens, count_tokens_many
 
 
@@ -28,6 +31,23 @@ class TestCountTokens:
 
     def test_many_sums(self):
         assert count_tokens_many(["a b", "c"]) == count_tokens("a b") + count_tokens("c")
+
+    def test_many_accepts_any_iterable(self):
+        # Generators, tuples, and dict views — not just lists.
+        assert count_tokens_many(text for text in ("a b", "c")) == 3
+        assert count_tokens_many(("a b", "c")) == 3
+        assert count_tokens_many({"a b": 1, "c": 2}.keys()) == 3
+        assert count_tokens_many(iter([])) == 0
+
+    def test_cache_is_bounded(self):
+        # The lru cache must carry an explicit bound so long multi-episode
+        # worker processes cannot grow it without limit.
+        assert count_tokens.cache_info().maxsize == tokenizer._COUNT_CACHE_SIZE
+
+    def test_doctests_run(self):
+        results = doctest.testmod(tokenizer)
+        assert results.attempted >= 5
+        assert results.failed == 0
 
 
 class TestProperties:
