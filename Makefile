@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath lint format suite
+.PHONY: test bench bench-hotpath lint format suite docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,11 @@ bench-hotpath:
 lint:
 	ruff check .
 	ruff format --check .
+
+# Markdown link check over README.md/docs/, REPRO_* knob coverage, and
+# doctests on every module that carries them.
+docs-check:
+	$(PYTHON) scripts/check_docs.py
 
 format:
 	ruff check --fix .

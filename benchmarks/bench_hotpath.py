@@ -6,9 +6,12 @@ axis — how fast a *single* episode's step loop runs.  The same smoke grid
 systems, stretched to hard tasks and large memory windows where per-step
 overheads compound) is measured twice in-process: once on the reference
 path (the seed implementation: linear memory scans, per-call prompt
-re-rendering and re-tokenization) and once on the optimized hot path
-(:mod:`repro.core.hotpath`: indexed retrieval, interned sections,
-incremental token accounting).
+re-rendering and re-tokenization, full per-step candidate enumeration and
+re-scoring) and once on the optimized hot path (:mod:`repro.core.hotpath`:
+indexed retrieval, interned sections, incremental token accounting, plus
+the phase-2 environment/decision layers — the belief-delta candidate
+cache, the behaviour kernel's scoreboard reuse, and identity-keyed
+candidate-section rendering).
 
 Two contracts are enforced, mirroring ``bench_executor``:
 
@@ -145,7 +148,8 @@ def test_bench_hotpath_speedup(benchmark, settings):
         f"grid: {len(grid)} cells x {serial.n_trials} trials "
         f"({len(grid) * serial.n_trials} episodes), min of {ROUNDS} rounds\n"
         f"reference: {ref_best:6.2f}s   (REPRO_HOTPATH=0: linear scans, re-tokenization)\n"
-        f"optimized: {opt_best:6.2f}s   (indexed memory, incremental tokens)\n"
+        f"optimized: {opt_best:6.2f}s   (indexed memory, incremental tokens, "
+        f"candidate cache)\n"
         f"speedup:   {speedup:5.2f}x   (aggregates byte-identical)\n"
         f"baseline:  {baseline_speedup}x committed, "
         f"gate at {BASELINE_TOLERANCE:.0%} of it"

@@ -1,0 +1,121 @@
+"""Documentation checks: links, knob coverage, and doctests.
+
+Run as ``make docs-check`` (CI's ``docs`` job).  Three offline checks:
+
+1. **Markdown links** — every relative link in ``README.md`` and
+   ``docs/*.md`` must point at an existing file, and every in-document
+   or cross-document ``#anchor`` must match a heading in its target.
+   External ``http(s)`` links are not fetched (CI must not depend on
+   network), only recognized and skipped.
+2. **Knob coverage** — every ``REPRO_*`` environment knob referenced in
+   ``src/`` or ``benchmarks/`` must be documented in
+   ``docs/performance.md`` (the acceptance bar: docs cover every knob
+   that exists in the source).
+3. **Doctests** — ``doctest.testmod`` over every ``src/repro`` module
+   whose source contains a ``>>>`` prompt, so examples in docstrings
+   cannot rot silently.
+
+Exits non-zero with a list of problems; prints a one-line summary when
+clean.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+KNOB_DOC = REPO / "docs" / "performance.md"
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+KNOB = re.compile(r"\bREPRO_[A-Z_]+\b")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub-style anchor for a heading."""
+    text = heading.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(markdown: str) -> set[str]:
+    return {_anchor(match) for match in HEADING.findall(markdown)}
+
+
+def check_links() -> list[str]:
+    problems = []
+    for doc in DOC_FILES:
+        text = doc.read_text()
+        for target in LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(f"{doc.relative_to(REPO)}: broken link -> {target}")
+                    continue
+            else:
+                resolved = doc
+            if fragment:
+                if resolved.suffix != ".md":
+                    continue
+                if _anchor(fragment) not in _anchors(resolved.read_text()):
+                    problems.append(
+                        f"{doc.relative_to(REPO)}: missing anchor -> {target}"
+                    )
+    return problems
+
+
+def check_knob_coverage() -> list[str]:
+    in_source: set[str] = set()
+    for root in (REPO / "src", REPO / "benchmarks"):
+        for path in root.rglob("*.py"):
+            in_source.update(KNOB.findall(path.read_text()))
+    documented = set(KNOB.findall(KNOB_DOC.read_text()))
+    missing = sorted(in_source - documented)
+    return [
+        f"docs/performance.md: undocumented knob {knob} (referenced in source)"
+        for knob in missing
+    ]
+
+
+def check_doctests() -> list[str]:
+    problems = []
+    src = REPO / "src"
+    sys.path.insert(0, str(src))
+    for path in sorted(src.rglob("*.py")):
+        if ">>> " not in path.read_text():
+            continue
+        module_name = ".".join(path.relative_to(src).with_suffix("").parts)
+        module = importlib.import_module(module_name)
+        result = doctest.testmod(module)
+        if result.failed:
+            problems.append(f"{module_name}: {result.failed} doctest failure(s)")
+        elif result.attempted == 0:
+            problems.append(f"{module_name}: contains '>>>' but no runnable doctest")
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_knob_coverage() + check_doctests()
+    if problems:
+        print("docs-check failed:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    n_links = sum(len(LINK.findall(doc.read_text())) for doc in DOC_FILES)
+    print(
+        f"docs-check ok: {len(DOC_FILES)} files, {n_links} links, "
+        "all source knobs documented, doctests green"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -67,6 +67,24 @@ class Beliefs:
         fact = self._slots.get((subject, relation))
         return fact.value if fact is not None else None
 
+    def values_at(self, keys: Iterable[tuple[str, str]]) -> tuple[str | None, ...]:
+        """Current values of several slots as one tuple (``None`` = unknown).
+
+        The read-side fingerprint primitive of the incremental candidate
+        cache (:mod:`repro.envs.candidates`): an environment lists the
+        belief slots a candidate group depends on and compares the
+        returned tuple across steps — one method call and one tuple
+        compare instead of re-enumerating the group.  Provenance steps
+        are deliberately excluded: affordances depend on what is believed,
+        not on when it was learned.
+        """
+        slots = self._slots
+        out = []
+        for key in keys:
+            fact = slots.get(key)
+            out.append(fact.value if fact is not None else None)
+        return tuple(out)
+
     def fact(self, subject: str, relation: str) -> Fact | None:
         return self._slots.get((subject, relation))
 

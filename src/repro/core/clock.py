@@ -18,6 +18,14 @@ so enabling it cannot perturb reproduction numbers.  Enable with
 ``REPRO_PROFILE=1`` (or :func:`enable_host_profiling`), then read
 :func:`host_profiler` — see :func:`repro.core.metrics.host_profile_report`
 for a formatted view.
+
+Coarse span mode (``REPRO_CLOCK=coarse``): long sweeps record thousands
+of spans per episode just to be summed once at finalization.  Opting in
+to coarse mode keeps only the running per-module and per-(module, phase)
+sums — accumulated in span arrival order, so every reported total is
+byte-identical to the full mode — and never materializes the span list.
+The per-span record (``SimClock.spans``) is then empty; keep the default
+full mode for anything that inspects individual spans.
 """
 
 from __future__ import annotations
@@ -26,8 +34,9 @@ import enum
 import os
 import time
 from collections import defaultdict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import NamedTuple
+from typing import Iterator, NamedTuple
 
 
 class ModuleName(enum.Enum):
@@ -127,6 +136,46 @@ class HostProfiler:
         return {key: (self.seconds[key], self.marks[key]) for key in self.seconds}
 
 
+# --------------------------------------------------------------------- #
+# Span recording mode (REPRO_CLOCK)
+# --------------------------------------------------------------------- #
+
+
+def _coarse_from_env() -> bool:
+    return os.environ.get("REPRO_CLOCK", "").strip().lower() == "coarse"
+
+
+_COARSE = _coarse_from_env()
+
+
+def coarse_enabled() -> bool:
+    """Is the opt-in coarse span mode (``REPRO_CLOCK=coarse``) active?"""
+    return _COARSE
+
+
+def set_coarse(value: bool) -> None:
+    """Set the process-local coarse-clock flag (workers re-read the env)."""
+    global _COARSE
+    _COARSE = bool(value)
+
+
+@contextmanager
+def override_coarse(value: bool) -> Iterator[None]:
+    """Temporarily force coarse span mode on or off (tests, benchmarks).
+
+    Like :func:`repro.core.hotpath.override`, the flag is captured by
+    :class:`SimClock` at construction, so the override must wrap episode
+    construction, and worker processes initialize from ``REPRO_CLOCK``.
+    """
+    global _COARSE
+    previous = _COARSE
+    _COARSE = bool(value)
+    try:
+        yield
+    finally:
+        _COARSE = previous
+
+
 def _profile_from_env() -> bool:
     return os.environ.get("REPRO_PROFILE", "").strip().lower() in {
         "1",
@@ -171,6 +220,14 @@ class SimClock:
     spans: list[Span] = field(default_factory=list)
     _parallel_depth: int = 0
     _parallel_front: float = 0.0
+    #: Captured at construction (one env read per episode).  In coarse
+    #: mode (``REPRO_CLOCK=coarse``) no per-span records are kept — only
+    #: the running per-module and per-(module, phase) sums below, which
+    #: accumulate in the exact arrival order the full mode would have
+    #: summed its span list in, so the reported totals are byte-identical.
+    _coarse: bool = field(default_factory=coarse_enabled)
+    _module_seconds: dict = field(default_factory=dict, repr=False)
+    _phase_seconds: dict = field(default_factory=dict, repr=False)
 
     def advance(
         self,
@@ -178,18 +235,30 @@ class SimClock:
         module: ModuleName,
         phase: str = "",
         agent: str = "",
-    ) -> Span:
-        """Advance virtual time by ``duration`` seconds, attributed."""
+    ) -> Span | None:
+        """Advance virtual time by ``duration`` seconds, attributed.
+
+        Returns the recorded span, or ``None`` in coarse mode (there is
+        no span to return; no in-tree caller reads it).
+        """
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration}")
-        span = Span(
-            module=module,
-            phase=phase,
-            start=self.now,
-            duration=duration,
-            agent=agent,
-        )
-        self.spans.append(span)
+        if self._coarse:
+            span = None
+            totals = self._module_seconds
+            totals[module] = totals.get(module, 0.0) + duration
+            phases = self._phase_seconds
+            key = (module, phase)
+            phases[key] = phases.get(key, 0.0) + duration
+        else:
+            span = Span(
+                module=module,
+                phase=phase,
+                start=self.now,
+                duration=duration,
+                agent=agent,
+            )
+            self.spans.append(span)
         if self._parallel_depth > 0:
             self._parallel_front = max(self._parallel_front, self.now + duration)
         else:
@@ -210,12 +279,16 @@ class SimClock:
 
     def elapsed_by_module(self) -> dict[ModuleName, float]:
         """Total attributed duration per module (sums even parallel spans)."""
+        if self._coarse:
+            return dict(self._module_seconds)
         totals: dict[ModuleName, float] = defaultdict(float)
         for span in self.spans:
             totals[span.module] += span.duration
         return dict(totals)
 
     def elapsed_by_phase(self) -> dict[tuple[ModuleName, str], float]:
+        if self._coarse:
+            return dict(self._phase_seconds)
         totals: dict[tuple[ModuleName, str], float] = defaultdict(float)
         for span in self.spans:
             totals[(span.module, span.phase)] += span.duration
@@ -224,6 +297,8 @@ class SimClock:
     def reset(self) -> None:
         self.now = 0.0
         self.spans.clear()
+        self._module_seconds.clear()
+        self._phase_seconds.clear()
         self._parallel_depth = 0
         self._parallel_front = 0.0
 

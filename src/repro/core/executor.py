@@ -16,6 +16,23 @@ as the seed code did; ``ParallelExecutor`` fans them out across a
 obtains an executor from :func:`get_executor`, which caches one pool per
 ``(kind, max_workers)`` so a full suite run reuses its workers instead
 of re-forking per experiment cell.
+
+Contracts:
+
+- **Picklability** — a :class:`TrialJob` is frozen dataclasses of
+  primitives all the way down; anything added to configs or tasks must
+  stay picklable or parallel dispatch breaks.
+- **Byte-identity** — results return in submission order regardless of
+  completion order, so parallel aggregates equal serial ones exactly
+  (asserted by ``tests/core/test_executor.py`` and
+  ``benchmarks/bench_executor.py``).
+- **Knob precedence** — ``REPRO_WORKERS`` only supplies the *default*
+  (serial at 1, parallel above); explicit ``ExperimentSettings(executor=,
+  max_workers=)`` or a directly constructed executor always wins.
+  Workers re-read ``REPRO_HOTPATH``/``REPRO_CLOCK`` from the environment
+  at spawn — in-process overrides do not cross the pool boundary.
+- **Failure surface** — a crashed trial raises ``TrialExecutionError``
+  naming the job; it never hangs and never drops results.
 """
 
 from __future__ import annotations

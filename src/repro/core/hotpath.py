@@ -18,6 +18,14 @@ Selection: the ``REPRO_HOTPATH`` environment variable (default on; set to
 :func:`override`.  Components capture the flag when they are constructed
 (one flag read per episode, not per step), so toggling mid-episode has no
 effect on that episode.
+
+Knob precedence: :func:`override` / :func:`set_enabled` beat the
+environment variable within this process, but worker processes of a
+parallel executor always re-initialize from ``REPRO_HOTPATH`` at spawn —
+export the variable (not just the override) before creating a pool that
+must run the reference path.  The byte-identity contract both paths must
+uphold is spelled out in docs/performance.md; any new optimization gated
+on :func:`enabled` must keep the golden equivalence suite green.
 """
 
 from __future__ import annotations

@@ -66,11 +66,22 @@ class EpisodeResult:
 
     @property
     def llm_fraction(self) -> float:
-        """Fraction of latency spent in LLM-heavy modules (paper: 70.2 %)."""
+        """Fraction of latency spent in LLM-heavy modules (paper: 70.2 %).
+
+        Summed in canonical ``MODULE_ORDER`` (not by iterating the
+        ``LLM_MODULES`` frozenset): enum members hash by id, so frozenset
+        iteration order — and with it the float summation order — would
+        vary across processes, making aggregates differ in the last ulp
+        between otherwise identical runs.
+        """
         total = sum(self.module_seconds.values())
         if total <= 0.0:
             return 0.0
-        llm = sum(self.module_seconds.get(module, 0.0) for module in LLM_MODULES)
+        llm = sum(
+            self.module_seconds.get(module, 0.0)
+            for module in MODULE_ORDER
+            if module in LLM_MODULES
+        )
         return llm / total
 
     @property

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core import hotpath
 from repro.core.beliefs import Beliefs
 from repro.core.types import Candidate, Fact, Observation, Subgoal, TaskSpec
+from repro.envs.candidates import CandidateCache, CandidateSlot, build_all
 from repro.planners.costmodel import ComputeCost, ZERO_COST
 
 
@@ -73,6 +76,25 @@ class Environment(abc.ABC):
         self.rng = rng
         self.agents: list[str] = [f"agent_{i}" for i in range(task.n_agents)]
         self.state = EnvState()
+        # Episode-scoped incremental candidate cache (hot path only; see
+        # repro.envs.candidates).  Environments that decompose their
+        # enumeration into slots get per-slot reuse; the rest fall back
+        # to full enumeration through their own ``candidates`` override.
+        self._candidate_cache: CandidateCache | None = (
+            CandidateCache() if hotpath.enabled() else None
+        )
+        # candidates() is no longer @abstractmethod (the base class now
+        # drives candidate_slots() when provided), so re-create the
+        # construction-time failure a forgotten affordance hook used to
+        # get from abc.
+        if (
+            type(self).candidates is Environment.candidates
+            and type(self).candidate_slots is Environment.candidate_slots
+        ):
+            raise TypeError(
+                f"{type(self).__name__} must override candidates() or "
+                "implement candidate_slots()"
+            )
 
     # ------------------------------------------------------------------ #
     # Time
@@ -147,14 +169,42 @@ class Environment(abc.ABC):
     # Affordances and execution
     # ------------------------------------------------------------------ #
 
-    @abc.abstractmethod
-    def candidates(self, agent: str, beliefs: Beliefs) -> list[Candidate]:
+    def candidates(self, agent: str, beliefs: Beliefs) -> Sequence[Candidate]:
         """Enumerate subgoal options given the agent's beliefs.
 
         Implementations should include (a) productive options with
         ground-truth utilities, (b) an explore/idle fallback, and (c) a
         few infeasible/hallucinated options as fault-injection targets.
+
+        Environments either override this directly (seed style, full
+        enumeration every call) or implement :meth:`candidate_slots` and
+        inherit this driver: on the hot path changed slots are rebuilt
+        and unchanged slots reuse last step's candidate objects; on the
+        reference path every slot is built fresh, so both paths produce
+        element-for-element identical sequences.
         """
+        slots = self.candidate_slots(agent, beliefs)
+        if slots is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} must override candidates() or "
+                "implement candidate_slots()"
+            )
+        cache = self._candidate_cache
+        if cache is not None:
+            return cache.assemble(agent, slots)
+        return build_all(slots)
+
+    def candidate_slots(
+        self, agent: str, beliefs: Beliefs
+    ) -> list[CandidateSlot] | None:
+        """Slot decomposition of :meth:`candidates` (``None`` = not adopted).
+
+        Each :class:`~repro.envs.candidates.CandidateSlot` must declare
+        *complete* deps — every belief value and every piece of mutable
+        environment state its builder reads — and builders must be pure.
+        See :mod:`repro.envs.candidates` for the full contract.
+        """
+        return None
 
     @abc.abstractmethod
     def execute(

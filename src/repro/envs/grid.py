@@ -55,10 +55,15 @@ class RoomGrid:
             raise ValueError("duplicate room names")
         # Walls never change after construction, so a path is a pure
         # function of (start, goal) — memoized on the hot path.  Results
-        # are immutable (tuple path), so sharing them is safe.
+        # are immutable (tuple path), so sharing them is safe.  The same
+        # staticness makes a room's passable-cell list reusable, which
+        # takes the per-cell passability scan out of every execute-side
+        # ``random_cell_in`` (explore/deposit targets, one per navigation).
+        fast = hotpath.enabled()
         self._path_cache: dict[tuple[Cell, Cell], AStarResult] | None = (
-            {} if hotpath.enabled() else None
+            {} if fast else None
         )
+        self._passable_cache: dict[str, list[Cell]] | None = {} if fast else None
 
     def room_named(self, name: str) -> Room:
         try:
@@ -97,10 +102,21 @@ class RoomGrid:
             cache[(start, goal)] = result
         return result
 
-    def random_cell_in(self, room_name: str, rng: np.random.Generator) -> Cell:
-        options = [
+    def _passable_cells(self, room_name: str) -> list[Cell]:
+        cache = self._passable_cache
+        if cache is not None:
+            cells = cache.get(room_name)
+            if cells is not None:
+                return cells
+        cells = [
             cell for cell in self.room_named(room_name).cells() if self.passable(cell)
         ]
+        if cache is not None:
+            cache[room_name] = cells
+        return cells
+
+    def random_cell_in(self, room_name: str, rng: np.random.Generator) -> Cell:
+        options = self._passable_cells(room_name)
         if not options:
             raise ValueError(f"room {room_name!r} has no passable cells")
         return options[int(rng.integers(len(options)))]

@@ -13,6 +13,7 @@ multi-agent), COHERENT (centralized heterogeneous robots, RRT arms).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -20,6 +21,7 @@ from repro.core.beliefs import Beliefs
 from repro.core.errors import EnvironmentError_
 from repro.core.types import Candidate, Fact, Subgoal, TaskSpec
 from repro.envs.base import Environment, ExecutionOutcome
+from repro.envs.candidates import CandidateSlot, idle_candidates
 from repro.envs.grid import Cell, RoomGrid, build_row_of_rooms
 from repro.planners.costmodel import ComputeCost
 from repro.planners.grasp import plan_grasp
@@ -181,67 +183,102 @@ class HouseholdEnv(Environment):
     # Affordances
     # ------------------------------------------------------------------ #
 
-    def candidates(self, agent: str, beliefs: Beliefs) -> list[Candidate]:
+    def candidate_slots(self, agent: str, beliefs: Beliefs) -> list[CandidateSlot]:
         me = self._agents[agent]
-        options: list[Candidate] = []
+        slots: list[CandidateSlot] = []
 
         if me.carrying:
-            target_fixture = self.goals.get(me.carrying, "")
-            if target_fixture:
-                options.append(
-                    Candidate(
-                        subgoal=Subgoal(
-                            name="deliver", target=me.carrying, destination=target_fixture
-                        ),
-                        utility=1.0,
-                    )
-                )
-            options.append(
-                Candidate(subgoal=Subgoal(name="putdown", target=me.carrying), utility=0.15)
+            slots.append(
+                CandidateSlot("carry", (me.carrying,), partial(self._carry_options, me))
             )
         else:
             for obj_name, target_fixture in self.goals.items():
                 obj = self.objects[obj_name]
-                if obj.placed_at == target_fixture:
-                    continue  # done
-                believed_room = beliefs.value(obj_name, "located_in")
-                held = beliefs.value(obj_name, "held_by") not in (None, "nobody")
-                if believed_room and not held:
-                    options.append(
-                        Candidate(
-                            subgoal=Subgoal(name="fetch", target=obj_name),
-                            utility=0.85,
-                        )
-                    )
-            # A deliver without holding anything: classic infeasible option.
-            pending = [
-                name
-                for name, fixture in self.goals.items()
-                if self.objects[name].placed_at != fixture
-            ]
-            if pending:
-                options.append(
-                    Candidate(
-                        subgoal=Subgoal(
-                            name="deliver",
-                            target=pending[0],
-                            destination=self.goals[pending[0]],
-                        ),
-                        utility=0.0,
-                        feasible=False,
+                offered = (
+                    obj.placed_at != target_fixture
+                    and bool(beliefs.value(obj_name, "located_in"))
+                    and beliefs.value(obj_name, "held_by") in (None, "nobody")
+                )
+                slots.append(
+                    CandidateSlot(
+                        f"fetch:{obj_name}",
+                        (offered,),
+                        partial(self._fetch_option, obj_name, offered),
                     )
                 )
+            # A deliver without holding anything: classic infeasible option.
+            first_pending = next(
+                (
+                    name
+                    for name, fixture in self.goals.items()
+                    if self.objects[name].placed_at != fixture
+                ),
+                None,
+            )
+            slots.append(
+                CandidateSlot(
+                    "deliver_infeasible",
+                    (first_pending,),
+                    partial(self._infeasible_deliver, first_pending),
+                )
+            )
 
         for room_name in self.grid.room_names():
             visited = beliefs.value(room_name, "visited") == "true"
-            utility = 0.12 if visited else 0.4
-            options.append(
-                Candidate(subgoal=Subgoal(name="explore", target=room_name), utility=utility)
+            slots.append(
+                CandidateSlot(
+                    f"explore:{room_name}",
+                    (visited,),
+                    partial(self._explore_option, room_name, visited),
+                )
             )
 
-        options.append(Candidate(subgoal=Subgoal(name="idle"), utility=0.02))
-        options.extend(self.hallucination_candidates())
+        slots.append(CandidateSlot("idle", (), partial(idle_candidates, 0.02)))
+        slots.append(CandidateSlot("hallucination", (), self.hallucination_candidates))
+        return slots
+
+    def _carry_options(self, me: _HouseAgent) -> list[Candidate]:
+        options: list[Candidate] = []
+        target_fixture = self.goals.get(me.carrying, "")
+        if target_fixture:
+            options.append(
+                Candidate(
+                    subgoal=Subgoal(
+                        name="deliver", target=me.carrying, destination=target_fixture
+                    ),
+                    utility=1.0,
+                )
+            )
+        options.append(
+            Candidate(subgoal=Subgoal(name="putdown", target=me.carrying), utility=0.15)
+        )
         return options
+
+    @staticmethod
+    def _fetch_option(obj_name: str, offered: bool) -> list[Candidate]:
+        if not offered:
+            return []
+        return [Candidate(subgoal=Subgoal(name="fetch", target=obj_name), utility=0.85)]
+
+    def _infeasible_deliver(self, first_pending: str | None) -> list[Candidate]:
+        if first_pending is None:
+            return []
+        return [
+            Candidate(
+                subgoal=Subgoal(
+                    name="deliver",
+                    target=first_pending,
+                    destination=self.goals[first_pending],
+                ),
+                utility=0.0,
+                feasible=False,
+            )
+        ]
+
+    @staticmethod
+    def _explore_option(room_name: str, visited: bool) -> list[Candidate]:
+        utility = 0.12 if visited else 0.4
+        return [Candidate(subgoal=Subgoal(name="explore", target=room_name), utility=utility)]
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -16,12 +16,14 @@ iron_pickaxe, ``hard`` → diamond_pickaxe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.core.beliefs import Beliefs
 from repro.core.types import Candidate, Fact, Subgoal, TaskSpec
 from repro.envs.base import Environment, ExecutionOutcome
+from repro.envs.candidates import CandidateSlot, idle_candidates
 from repro.planners.costmodel import ComputeCost
 
 TRAVEL_SECONDS_PER_AREA = 2.2
@@ -72,6 +74,28 @@ GOALS_BY_DIFFICULTY = {
     "medium": "iron_pickaxe",
     "hard": "diamond_pickaxe",
 }
+
+#: Belief slots the candidate menu reads (candidate-cache dep keys).
+_DEPOSIT_KEYS = tuple(
+    (f"{resource}_deposit", "located_in") for resource in RESOURCE_AREAS
+)
+_AREA_VISITED_KEYS = tuple((area, "visited") for area in AREAS[1:])
+
+
+def _explore_options(visited_values: tuple[str | None, ...]) -> list[Candidate]:
+    return [
+        Candidate(
+            subgoal=Subgoal(name="explore", target=area),
+            utility=0.1 if value == "true" else 0.45,
+        )
+        for area, value in zip(AREAS[1:], visited_values)
+    ]
+
+
+def _return_option(away: bool) -> list[Candidate]:
+    if not away:
+        return []
+    return [Candidate(subgoal=Subgoal(name="explore", target="base"), utility=0.3)]
 
 
 def requirement_closure(goal: str) -> set[str]:
@@ -217,8 +241,34 @@ class MineWorldEnv(Environment):
         """How many more of ``item`` the tech tree still requires."""
         return _DeficitCalculator(self, player).item_deficit(item)
 
-    def candidates(self, agent: str, beliefs: Beliefs) -> list[Candidate]:
+    def candidate_slots(self, agent: str, beliefs: Beliefs) -> list[CandidateSlot]:
         player = self._players[agent]
+        # The craft/gather menu is a pure function of the player's
+        # inventory (deficits, craftability, tool tiers) and the believed
+        # deposit locations; one slot covers both loops so a rebuild
+        # constructs a single demand calculator, exactly like the seed.
+        inventory_state = tuple(sorted(player.inventory.items()))
+        deposits = beliefs.values_at(_DEPOSIT_KEYS)
+        slots = [
+            CandidateSlot(
+                "economy",
+                (inventory_state, deposits),
+                partial(self._economy_options, player, deposits),
+            )
+        ]
+        visited = beliefs.values_at(_AREA_VISITED_KEYS)
+        slots.append(
+            CandidateSlot("explore", (visited,), partial(_explore_options, visited))
+        )
+        away = player.area != "base"
+        slots.append(CandidateSlot("return_base", (away,), partial(_return_option, away)))
+        slots.append(CandidateSlot("idle", (), partial(idle_candidates, 0.02)))
+        slots.append(CandidateSlot("hallucination", (), self.hallucination_candidates))
+        return slots
+
+    def _economy_options(
+        self, player: _Player, deposits: tuple[str | None, ...]
+    ) -> list[Candidate]:
         calculator = _DeficitCalculator(self, player)
         options: list[Candidate] = []
 
@@ -243,9 +293,7 @@ class MineWorldEnv(Environment):
                     )
                 )
 
-        for resource in RESOURCE_AREAS:
-            deposit = f"{resource}_deposit"
-            known_area = beliefs.value(deposit, "located_in")
+        for resource, known_area in zip(RESOURCE_AREAS, deposits):
             deficit = calculator.resource_deficit(resource)
             tool = GATHER_TOOL[resource]
             has_tool = not tool or player.count(tool) >= 1
@@ -282,21 +330,6 @@ class MineWorldEnv(Environment):
                 options.append(
                     Candidate(subgoal=Subgoal(name="gather", target=resource), utility=0.1)
                 )
-
-        for area in AREAS[1:]:
-            visited = beliefs.value(area, "visited") == "true"
-            options.append(
-                Candidate(
-                    subgoal=Subgoal(name="explore", target=area),
-                    utility=0.1 if visited else 0.45,
-                )
-            )
-        if player.area != "base":
-            options.append(
-                Candidate(subgoal=Subgoal(name="explore", target="base"), utility=0.3)
-            )
-        options.append(Candidate(subgoal=Subgoal(name="idle"), utility=0.02))
-        options.extend(self.hallucination_candidates())
         return options
 
     def _resource_deficit(self, player: _Player, resource: str) -> int:

@@ -42,8 +42,8 @@ def make_task(
     """Build a :class:`TaskSpec` with sensible defaults.
 
     >>> task = make_task("household", "easy", seed=7)
-    >>> task.horizon
-    45
+    >>> task.horizon == DEFAULT_HORIZONS["household"]["easy"]
+    True
     """
     validate_difficulty(difficulty)
     if n_agents < 1:

@@ -11,6 +11,7 @@ the paper measures on CoELA.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -18,8 +19,47 @@ from repro.core.beliefs import Beliefs
 from repro.core.errors import EnvironmentError_
 from repro.core.types import Candidate, Fact, Subgoal, TaskSpec
 from repro.envs.base import Environment, ExecutionOutcome
+from repro.envs.candidates import CandidateSlot, idle_candidates
 from repro.envs.grid import Cell, RoomGrid, build_row_of_rooms
 from repro.planners.costmodel import ComputeCost
+
+
+def _deposit_option(n_carrying: int) -> list[Candidate]:
+    # Returning pays off more the fuller the hands are.
+    return [
+        Candidate(
+            subgoal=Subgoal(name="deposit"),
+            utility=0.7 + 0.3 * (n_carrying / CARRY_CAPACITY),
+        )
+    ]
+
+
+def _pickup_option(obj_name: str, offered: bool) -> list[Candidate]:
+    if not offered:
+        return []
+    return [Candidate(subgoal=Subgoal(name="pickup", target=obj_name), utility=0.85)]
+
+
+def _infeasible_pickup(first_pending: str | None) -> list[Candidate]:
+    if first_pending is None:
+        return []
+    return [
+        Candidate(
+            subgoal=Subgoal(name="pickup", target=first_pending),
+            utility=0.0,
+            feasible=False,
+        )
+    ]
+
+
+def _explore_option(room_name: str, visited: bool) -> list[Candidate]:
+    return [
+        Candidate(
+            subgoal=Subgoal(name="explore", target=room_name),
+            utility=0.12 if visited else 0.42,
+        )
+    ]
+
 
 MOVE_SECONDS = 0.4
 PICK_SECONDS = 1.2
@@ -127,57 +167,59 @@ class TransportEnv(Environment):
     # Affordances
     # ------------------------------------------------------------------ #
 
-    def candidates(self, agent: str, beliefs: Beliefs) -> list[Candidate]:
+    def candidate_slots(self, agent: str, beliefs: Beliefs) -> list[CandidateSlot]:
         me = self._agents[agent]
-        options: list[Candidate] = []
+        n_carrying = len(me.carrying)
+        slots: list[CandidateSlot] = []
 
         if me.carrying:
-            # Returning pays off more the fuller the hands are.
-            options.append(
-                Candidate(
-                    subgoal=Subgoal(name="deposit"),
-                    utility=0.7 + 0.3 * (len(me.carrying) / CARRY_CAPACITY),
+            slots.append(
+                CandidateSlot("deposit", (n_carrying,), partial(_deposit_option, n_carrying))
+            )
+        if n_carrying < CARRY_CAPACITY:
+            for obj in self.objects.values():
+                offered = (
+                    not obj.delivered
+                    and not obj.held_by
+                    and bool(beliefs.value(obj.name, "located_in"))
+                )
+                slots.append(
+                    CandidateSlot(
+                        f"pickup:{obj.name}",
+                        (offered,),
+                        partial(_pickup_option, obj.name, offered),
+                    )
+                )
+        else:
+            first_pending = next(
+                (
+                    obj.name
+                    for obj in self.objects.values()
+                    if not obj.delivered and not obj.held_by
+                ),
+                None,
+            )
+            slots.append(
+                CandidateSlot(
+                    "pickup_full",
+                    (first_pending,),
+                    partial(_infeasible_pickup, first_pending),
                 )
             )
-        if len(me.carrying) < CARRY_CAPACITY:
-            for obj in self.objects.values():
-                if obj.delivered or obj.held_by:
-                    continue
-                believed_room = beliefs.value(obj.name, "located_in")
-                if believed_room:
-                    options.append(
-                        Candidate(
-                            subgoal=Subgoal(name="pickup", target=obj.name),
-                            utility=0.85,
-                        )
-                    )
-        else:
-            pending = [
-                obj.name
-                for obj in self.objects.values()
-                if not obj.delivered and not obj.held_by
-            ]
-            if pending:
-                options.append(
-                    Candidate(
-                        subgoal=Subgoal(name="pickup", target=pending[0]),
-                        utility=0.0,
-                        feasible=False,
-                    )
-                )
 
         for room_name in self.grid.room_names()[1:]:
             visited = beliefs.value(room_name, "visited") == "true"
-            options.append(
-                Candidate(
-                    subgoal=Subgoal(name="explore", target=room_name),
-                    utility=0.12 if visited else 0.42,
+            slots.append(
+                CandidateSlot(
+                    f"explore:{room_name}",
+                    (visited,),
+                    partial(_explore_option, room_name, visited),
                 )
             )
 
-        options.append(Candidate(subgoal=Subgoal(name="idle"), utility=0.02))
-        options.extend(self.hallucination_candidates())
-        return options
+        slots.append(CandidateSlot("idle", (), partial(idle_candidates, 0.02)))
+        slots.append(CandidateSlot("hallucination", (), self.hallucination_candidates))
+        return slots
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -12,6 +12,14 @@ content is independent of the execution mode: trials are seeded, results
 are aggregated in seed order, and sections are always stitched in
 canonical order, so only the per-section timing lines vary between
 serial, parallel, and concurrent runs.
+
+Knob precedence: the ``--concurrent-sections`` flag wins over
+``REPRO_SUITE_CONCURRENT``; trial count and executor come from
+``ExperimentSettings`` defaults, i.e. ``REPRO_TRIALS`` / ``REPRO_WORKERS``
+unless a caller passes explicit settings.  Concurrent sections share one
+process, so they also share the (single-threaded) ``REPRO_PROFILE``
+probe — profile serial runs only.  See docs/performance.md for the full
+knob table.
 """
 
 from __future__ import annotations

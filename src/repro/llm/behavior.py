@@ -24,10 +24,13 @@ reflection and metrics reason about error categories explicitly.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
+from repro.core import hotpath
 from repro.core.errors import FaultKind
 from repro.core.types import Candidate, Subgoal
 
@@ -57,7 +60,7 @@ MAX_FORMAT_RETRIES = 3
 class DecisionRequest:
     """Everything the behaviour kernel needs to simulate one choice."""
 
-    candidates: list[Candidate]
+    candidates: Sequence[Candidate]
     difficulty: str = "medium"
     n_joint: int = 1
     blacklist: frozenset[Subgoal] = frozenset()
@@ -81,17 +84,144 @@ class DecisionOutcome:
     p_correct: float
 
 
+class _Scoreboard:
+    """Cached pure analysis ("scores") of one candidate set.
+
+    Everything a decision consults that does not touch the RNG: the clean
+    subset in seed order, the top utility tie group (the only candidates
+    a correct pick can return — effectively the top-k the selection is
+    pruned to, with ties kept in enumeration order so the tie-break draw
+    is seed-identical), and the per-fault candidate pools with their
+    exact seed insertion order.  A scoreboard is a pure function of
+    ``(candidates, blacklist, has_stale_facts)``; the kernel reuses it
+    across steps whenever the environment's candidate cache hands back
+    the identical candidate tuple, so unchanged candidates keep their
+    scores and only changed sets are re-scored.
+
+    The constructor deliberately *mirrors* — rather than calls — the seed
+    helpers on :class:`BehaviorKernel` (``_clean_candidates``, the tie
+    computation in ``_best_choice``, ``_available_faults``).  The copies
+    stay independent so the golden equivalence suite compares two
+    genuinely separate implementations: a bug edited into either copy
+    alone fails ``tests/core/test_hotpath_equivalence.py`` instead of
+    silently shifting both paths together.  Change them in lockstep.
+    """
+
+    __slots__ = ("clean", "pool", "best_utility", "ties", "complexity", "available")
+
+    def __init__(self, request: "DecisionRequest") -> None:
+        blacklist = request.blacklist
+        self.clean: list[Candidate] = [
+            candidate
+            for candidate in request.candidates
+            if candidate.feasible
+            and candidate.fault is None
+            and candidate.subgoal not in blacklist
+        ]
+        self.pool: Sequence[Candidate] = self.clean or list(request.candidates)
+        self.best_utility: float = max(candidate.utility for candidate in self.pool)
+        self.ties: list[Candidate] = [
+            candidate
+            for candidate in self.pool
+            if candidate.utility >= self.best_utility - 1e-9
+        ]
+        self.complexity: float = min(1.0, len(self.clean) / 4.0)
+        best = self.ties[0]
+        available: dict[FaultKind, list[Candidate]] = {}
+        suboptimal = [
+            candidate for candidate in self.clean if candidate.utility < best.utility
+        ]
+        if suboptimal:
+            available[FaultKind.SUBOPTIMAL] = suboptimal
+        infeasible = [
+            candidate
+            for candidate in request.candidates
+            if not candidate.feasible and candidate.fault is None
+        ]
+        if infeasible:
+            available[FaultKind.INFEASIBLE] = infeasible
+        hallucinated = [
+            candidate
+            for candidate in request.candidates
+            if candidate.fault is FaultKind.HALLUCINATION
+        ]
+        if hallucinated:
+            available[FaultKind.HALLUCINATION] = hallucinated
+        repeated = [
+            candidate
+            for candidate in request.candidates
+            if candidate.subgoal in blacklist
+        ]
+        if repeated:
+            available[FaultKind.REPEATED] = repeated
+        if request.has_stale_facts:
+            stale = [
+                candidate
+                for candidate in request.candidates
+                if candidate.fault is FaultKind.STALE_MEMORY
+            ]
+            available[FaultKind.STALE_MEMORY] = stale or [best]
+        self.available = available
+
+
+#: Scoreboards kept per kernel.  Decisions alternate between at most a
+#: few candidate sets per agent (the current enumeration, plus the
+#: shrinking pools of a multi-step plan), so a handful of entries covers
+#: the reuse while bounding memory on long sweeps.
+_SCOREBOARD_CAPACITY = 8
+
+
 @dataclass
 class BehaviorKernel:
     """Stateless selection logic parameterized by capability numbers.
 
     Separated from :class:`~repro.llm.simulated.SimulatedLLM` so it can be
     unit- and property-tested without latency modeling.
+
+    On the optimized hot path the kernel memoizes a :class:`_Scoreboard`
+    per candidate set (identity-keyed: a hit requires the very same
+    candidate sequence object, which the environment candidate cache
+    returns while beliefs are unchanged).  On the reference path every
+    helper recomputes from scratch, exactly like the seed.  Scoreboards
+    consume no randomness, so both paths draw identically from the RNG.
     """
 
     reasoning: float
     format_compliance: float
     context_focus: "callable[[int], float]" = field(repr=False, default=lambda _t: 1.0)
+    _fast: bool = field(default=False, repr=False, compare=False)
+    _scoreboards: OrderedDict = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._fast = hotpath.enabled()
+
+    def _scoreboard(self, request: DecisionRequest) -> _Scoreboard | None:
+        """The cached scoreboard on the fast path, ``None`` otherwise.
+
+        Only tuple candidate sequences are scored eagerly: those come
+        from the environment candidate cache and recur across steps, so
+        the one-time pool construction amortizes.  One-off lists (e.g.
+        the shrinking pools of a multi-step plan) take the seed's lazy
+        path instead — a scoreboard for them would do strictly more work
+        than the seed on the common no-fault branch and evict useful
+        entries from the LRU.
+        """
+        if not self._fast or type(request.candidates) is not tuple:
+            return None
+        key = (id(request.candidates), request.blacklist, request.has_stale_facts)
+        entry = self._scoreboards.get(key)
+        if entry is not None and entry[0] is request.candidates:
+            self._scoreboards.move_to_end(key)
+            return entry[1]
+        board = _Scoreboard(request)
+        # The entry pins the candidate sequence, so its id cannot be
+        # recycled while the key is alive.
+        self._scoreboards[key] = (request.candidates, board)
+        if len(self._scoreboards) > _SCOREBOARD_CAPACITY:
+            self._scoreboards.popitem(last=False)
+        return board
 
     def probability_correct(self, request: DecisionRequest, prompt_tokens: int) -> float:
         factor = DIFFICULTY_FACTORS.get(request.difficulty)
@@ -117,7 +247,11 @@ class BehaviorKernel:
         """
         retries = self._sample_format_retries(rng)
         p_correct = self.probability_correct(request, prompt_tokens)
-        complexity = min(1.0, len(self._clean_candidates(request)) / 4.0)
+        board = self._scoreboard(request)
+        if board is not None:
+            complexity = board.complexity
+        else:
+            complexity = min(1.0, len(self._clean_candidates(request)) / 4.0)
         p_correct = 1.0 - (1.0 - p_correct) * complexity
         if retries >= MAX_FORMAT_RETRIES:
             # Unparseable after retries: degrade to a forced arbitrary pick.
@@ -164,14 +298,18 @@ class BehaviorKernel:
         identical candidate sets must decorrelate (sampling temperature in
         the real systems), or they all chase the same object every step.
         """
-        clean = self._clean_candidates(request)
-        pool = clean or list(request.candidates)
-        best_utility = max(candidate.utility for candidate in pool)
-        ties = [
-            candidate
-            for candidate in pool
-            if candidate.utility >= best_utility - 1e-9
-        ]
+        board = self._scoreboard(request)
+        if board is not None:
+            ties = board.ties
+        else:
+            clean = self._clean_candidates(request)
+            pool = clean or list(request.candidates)
+            best_utility = max(candidate.utility for candidate in pool)
+            ties = [
+                candidate
+                for candidate in pool
+                if candidate.utility >= best_utility - 1e-9
+            ]
         if rng is None or len(ties) == 1:
             return ties[0]
         return ties[int(rng.integers(len(ties)))]
@@ -228,7 +366,8 @@ class BehaviorKernel:
     def _faulty_choice(
         self, request: DecisionRequest, rng: np.random.Generator
     ) -> tuple[FaultKind, Candidate]:
-        available = self._available_faults(request)
+        board = self._scoreboard(request)
+        available = board.available if board is not None else self._available_faults(request)
         if not available:
             # Nothing wrong is expressible (e.g. a single obvious option):
             # the model simply succeeds.

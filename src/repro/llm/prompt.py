@@ -22,8 +22,10 @@ joined text each step.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
+from typing import Sequence
 
 from repro.core import hotpath
 from repro.core.types import Candidate, Fact, Message, Observation
@@ -148,6 +150,43 @@ def _index_scaffold(upto: int) -> tuple[list[str], list[int]]:
         return prefixes, tokens
 
 
+class _IdentitySectionMemo:
+    """Bounded identity-keyed memo: candidate tuple -> rendered section.
+
+    The environment candidate cache returns the *same tuple object* while
+    an agent's affordances are unchanged (:mod:`repro.envs.candidates`),
+    so the candidates section — the per-step render and token count of
+    every enumerated subgoal — can be reused by object identity: no
+    hashing of candidate values, just an id lookup plus an ``is`` check.
+    Entries pin their key tuple (ids cannot be recycled while cached) and
+    sections are immutable, so sharing across prompts is safe.  A lock
+    guards the map for the suite's threaded ``--concurrent-sections``
+    mode, mirroring ``_INDEX_SCAFFOLD``.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self._entries: OrderedDict[int, tuple[object, PromptSection]] = OrderedDict()
+        self._capacity = capacity
+        self._lock = threading.Lock()
+
+    def get(self, key_obj: object) -> PromptSection | None:
+        with self._lock:
+            entry = self._entries.get(id(key_obj))
+            if entry is None or entry[0] is not key_obj:
+                return None
+            self._entries.move_to_end(id(key_obj))
+            return entry[1]
+
+    def put(self, key_obj: object, section: PromptSection) -> None:
+        with self._lock:
+            self._entries[id(key_obj)] = (key_obj, section)
+            if len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+
+_CANDIDATE_SECTIONS = _IdentitySectionMemo()
+
+
 class PromptBuilder:
     """Fluent builder producing :class:`Prompt` objects from sim objects.
 
@@ -225,10 +264,18 @@ class PromptBuilder:
                 self._prompt.add("dialogue", text)
         return self
 
-    def candidates(self, candidates: list[Candidate]) -> "PromptBuilder":
+    def candidates(self, candidates: "Sequence[Candidate]") -> "PromptBuilder":
         if not candidates:
             return self
         if self._fast:
+            # Candidate tuples from the env cache keep their identity
+            # while beliefs are unchanged; reuse their rendered section.
+            stable = isinstance(candidates, tuple)
+            if stable:
+                section = _CANDIDATE_SECTIONS.get(candidates)
+                if section is not None:
+                    self._prompt.append_section(section)
+                    return self
             prefixes, index_tokens = _index_scaffold(len(candidates))
             lines = []
             tokens = 0
@@ -236,9 +283,10 @@ class PromptBuilder:
                 described = candidate.subgoal.describe()
                 lines.append(prefixes[index] + described)
                 tokens += index_tokens[index] + count_tokens(described)
-            self._prompt.append_section(
-                PromptSection("candidates", " ".join(lines), tokens)
-            )
+            section = PromptSection("candidates", " ".join(lines), tokens)
+            if stable:
+                _CANDIDATE_SECTIONS.put(candidates, section)
+            self._prompt.append_section(section)
         else:
             lines = [
                 f"({index}) {candidate.subgoal.describe()}"

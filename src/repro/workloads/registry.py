@@ -3,6 +3,15 @@
 ``WORKLOAD_SUITE`` holds the runnable systems (paper Sec. III); ``TAXONOMY``
 adds the categorized-but-not-benchmarked systems so Table I can be
 regenerated in full.
+
+Contract: ``get_workload(name)`` is the only lookup experiments use, and
+the registered names (``list_workloads()``) are stable identifiers —
+reports, tests, and benchmark grids reference them as strings.  Every
+registered config is a frozen dataclass of primitives, picklable by
+construction, because trial executors ship ``(config, task, seed)``
+triples across process boundaries (see :mod:`repro.core.executor`).
+Mutating a workload's config would silently change every figure that
+cites it: derive variants with ``dataclasses.replace`` instead.
 """
 
 from __future__ import annotations

@@ -15,7 +15,7 @@ import numpy as np
 import pytest
 
 from repro.core import hotpath
-from repro.core.clock import SimClock
+from repro.core.clock import SimClock, override_coarse
 from repro.core.config import MemoryConfig
 from repro.core.executor import ParallelExecutor
 from repro.core.metrics import MetricsCollector
@@ -60,6 +60,38 @@ class TestGridEquivalence:
         with hotpath.override(True):
             optimized = measure_grid(GRID, SETTINGS)
         assert optimized == reference
+
+    def test_coarse_clock_aggregates_byte_identical(self):
+        """REPRO_CLOCK=coarse + full optimized path == reference bytes.
+
+        The acceptance bar of the phase-2 hot path: candidate cache,
+        behaviour scoreboard, and coarse span accounting all active at
+        once must still reproduce the seed aggregates exactly.
+        """
+        with hotpath.override(False):
+            reference = measure_grid(GRID, SETTINGS)
+        with hotpath.override(True), override_coarse(True):
+            coarse = measure_grid(GRID, SETTINGS)
+        assert coarse == reference
+
+    def test_candidate_cache_actually_engages(self):
+        """Guard against the cache silently disabling itself.
+
+        A trivially-passing equivalence test (because the optimized path
+        quietly fell back to full enumeration) would hide a regression;
+        assert the cache serves a meaningful share of slot lookups on a
+        representative cell.
+        """
+        from repro.core.runner import build_loop, build_task
+
+        cell = GRID[4]  # coela: transport env, dialogue-heavy
+        task = build_task(cell.config, n_agents=cell.n_agents, seed=0)
+        with hotpath.override(True):
+            loop = build_loop(cell.config, task, seed=0)
+            loop.run()
+            cache = loop.env._candidate_cache
+        assert cache is not None
+        assert cache.reused_slots > cache.rebuilt_slots
 
     def test_parallel_workers_match_optimized_serial(self):
         """REPRO_WORKERS=2 on the reference path == optimized serial.
