@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath lint format suite docs-check
+.PHONY: test bench bench-hotpath bench-comm lint format suite docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,6 +19,14 @@ bench:
 bench-hotpath:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
 		$(PYTHON) -m pytest benchmarks/bench_hotpath.py -x -q -s
+
+# Communication pipeline speedup (step-batched delivery bus vs the seed
+# per-delivery fan-out) on an all-dialogue grid, with the byte-identical
+# equivalence assert and the >20%-regression gate against
+# benchmarks/baselines/BENCH_comm.json.  Emits BENCH_comm.json.
+bench-comm:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
+		$(PYTHON) -m pytest benchmarks/bench_comm.py -x -q -s
 
 lint:
 	ruff check .

@@ -220,7 +220,7 @@ class EmbodiedAgent:
     def perceive(self, env: Environment) -> PerceptionBundle:
         """Sense, store, retrieve, and assemble beliefs for this step."""
         facts = self.sensing.sense(env)
-        position = env.agent_position(self.name)
+        position = env.position_of(self.name)
         observation = env.observation(self.name, facts)
         if self.memory is not None:
             self.memory.store_observation(facts)
@@ -269,6 +269,20 @@ class EmbodiedAgent:
         else:
             self.state.step_dialogue.append(message)
         return novel
+
+    def stage_message(self, message: Message, bundle: PerceptionBundle) -> None:
+        """Bus-path half of :meth:`receive_message` (repro.core.bus).
+
+        Makes the message visible to this step's later prompts (the
+        dialogue lists) and charges the modeled store latency at the
+        seed's exact clock position, while the belief merge and the
+        memory-index writes wait for the step's batched flush.
+        """
+        bundle.dialogue.append(message)
+        if self.memory is not None:
+            self.memory.stage_message(message)
+        else:
+            self.state.step_dialogue.append(message)
 
     def plan(
         self,

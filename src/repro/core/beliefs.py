@@ -51,6 +51,36 @@ class Beliefs:
                 self._slots[key] = fact
         return novel
 
+    def update_batch(self, chunks: Iterable[Iterable[Fact]]) -> list[int]:
+        """Merge several fact chunks in order; returns per-chunk novelty.
+
+        The delivery bus (:mod:`repro.core.bus`) concatenates one step's
+        staged message payloads into a single fact stream per receiver and
+        merges it in delivery order.  Each chunk is counted exactly as a
+        separate :meth:`update` call would have counted it — a chunk's
+        facts see every earlier chunk already merged — so batched and
+        per-delivery novelty (the paper's message-usefulness metric) agree
+        fact for fact.  The win is purely host-side: one call and one
+        bound slot table instead of one dict walk per delivery.
+        """
+        slots = self._slots
+        get = slots.get
+        counts: list[int] = []
+        for chunk in chunks:
+            novel = 0
+            for fact in chunk:
+                key = (fact.subject, fact.relation)
+                existing = get(key)
+                if existing is None:
+                    novel += 1
+                    slots[key] = fact
+                elif fact.step >= existing.step:
+                    if existing.value != fact.value:
+                        novel += 1
+                    slots[key] = fact
+            counts.append(novel)
+        return counts
+
     def overwrite(self, facts: Iterable[Fact]) -> None:
         """Bulk-merge facts that are guaranteed to win their slots.
 

@@ -145,6 +145,26 @@ def _coarse_from_env() -> bool:
     return os.environ.get("REPRO_CLOCK", "").strip().lower() == "coarse"
 
 
+def default_to_coarse_for_sweeps() -> bool:
+    """Default a long sweep's process to coarse span mode.
+
+    Called by the CLI entry points of the longest sweeps (Figure 7 and
+    the full suite) *before* any episode runs or worker pool spawns.  If
+    ``REPRO_CLOCK`` is unset, the process opts into coarse mode — the
+    variable is exported so spawned workers inherit the choice — which is
+    safe there because those paths consume only finalized aggregates
+    (``elapsed_by_module`` / ``elapsed_by_phase`` / ``now``), never the
+    per-span list, and coarse totals are byte-identical by same-order
+    accumulation.  Any explicit setting wins: ``REPRO_CLOCK=span`` (or
+    ``full``) forces per-span recording, ``coarse`` is simply kept.
+    Returns whether coarse mode ended up active.
+    """
+    if not os.environ.get("REPRO_CLOCK", "").strip():
+        os.environ["REPRO_CLOCK"] = "coarse"
+        set_coarse(True)
+    return coarse_enabled()
+
+
 _COARSE = _coarse_from_env()
 
 

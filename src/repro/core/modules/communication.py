@@ -12,10 +12,18 @@ Optimizations hosted here:
   when the planner flagged communication as necessary.
 - ``comm_filter`` (Rec. 10): :meth:`compose` short-circuits (no LLM call)
   when the sender has nothing new to share since its last message.
+
+Hot-path staging (:mod:`repro.core.hotpath`): the sharable payload is a
+pure function of the known-facts snapshot fixed at perceive time, so
+multi-round dialogue phases reuse one sorted selection per step
+(:meth:`CommunicationModule._payload_for`); delivery itself is the
+paradigm loops' job and, on the hot path, rides the step-batched
+:mod:`repro.core.bus` rather than per-receiver calls.
 """
 
 from __future__ import annotations
 
+from repro.core import hotpath
 from repro.core.clock import ModuleName
 from repro.core.modules.base import ModuleContext
 from repro.core.types import Fact, Message, Subgoal
@@ -45,7 +53,15 @@ class CommunicationModule:
         self.llm = llm
         self.filter_redundant = filter_redundant
         self._last_shared: dict[tuple[str, str], str] = {}
-        self._last_intent_sent: Subgoal | None = None
+        # Per-step payload staging (hot path only): the sharable payload
+        # depends solely on the known-facts snapshot, which is fixed at
+        # perceive time, so multi-round dialogue phases recompute the same
+        # sorted selection every round.  Cache it per (step, known-facts
+        # identity); the reference path recomputes per call, as the seed did.
+        self._fast = hotpath.enabled()
+        self._payload_step = -1
+        self._payload_source: object = None
+        self._payload: tuple[Fact, ...] = ()
 
     # ------------------------------------------------------------------ #
     # Composition
@@ -59,7 +75,27 @@ class CommunicationModule:
         candidates.sort(key=lambda fact: fact.step, reverse=True)
         return candidates[:MESSAGE_FACT_BUDGET]
 
-    def _is_redundant(self, payload: list[Fact], intent: Subgoal | None) -> bool:
+    def _payload_for(self, step: int, known_facts: list[Fact]) -> tuple[Fact, ...] | list[Fact]:
+        """The step's sharable payload, staged once per step on the hot path.
+
+        Returns a tuple on the hot path so the rendered prompt section can
+        be reused by identity (:mod:`repro.llm.prompt`); the identity check
+        on ``known_facts`` makes the cache valid only while the caller
+        passes the same per-step snapshot (the dialogue phase hoists it).
+        """
+        if not self._fast:
+            return self.sharable_facts(known_facts)
+        if self._payload_step == step and self._payload_source is known_facts:
+            return self._payload
+        payload = tuple(self.sharable_facts(known_facts))
+        self._payload_step = step
+        self._payload_source = known_facts
+        self._payload = payload
+        return payload
+
+    def _is_redundant(
+        self, payload: list[Fact] | tuple[Fact, ...], intent: Subgoal | None
+    ) -> bool:
         """True when the payload contains nothing the sender hasn't shared.
 
         Intent refreshes alone do not justify a message — announcing a new
@@ -88,7 +124,7 @@ class CommunicationModule:
         strategy (Rec. 8), where the planner only requests a message when
         there is something to say.
         """
-        payload = self.sharable_facts(known_facts)
+        payload = self._payload_for(step, known_facts)
         if (self.filter_redundant or force_filter) and self._is_redundant(
             payload, intent
         ):
@@ -120,7 +156,6 @@ class CommunicationModule:
         )
         for fact in payload:
             self._last_shared[fact.key()] = fact.value
-        self._last_intent_sent = intent
         return Message(
             sender=self.context.agent,
             recipients=recipients,

@@ -29,6 +29,13 @@ in non-decreasing step order, so their retention windows are bisected, not
 filtered.  Confused retrievals (and any out-of-order access the guards
 detect) fall back to the seed's linear scan, which stays byte-identical by
 construction.
+
+Step-batched deliveries (:mod:`repro.core.bus`): on the bus path a
+message's modeled store latency is charged at :meth:`stage_message` time
+(the seed's clock position) while its dialogue/observation writes wait
+for one :meth:`commit_staged_messages` per step — entry-for-entry the
+state :meth:`store_message` would have produced, minus the per-message
+index churn.  Read paths refuse to serve while deliveries are staged.
 """
 
 from __future__ import annotations
@@ -128,6 +135,10 @@ class MemoryModule:
         self._steps_sorted = True
         #: Static facts pre-assembled as a belief base, copied per step.
         self._static_beliefs = Beliefs.from_facts(self._static)
+        #: Step-batched delivery bus staging (hot path only): messages
+        #: whose store latency is already charged but whose writes are
+        #: deferred to one batched :meth:`commit_staged_messages`.
+        self._staged_messages: list[Message] = []
 
     # ------------------------------------------------------------------ #
     # Stores
@@ -163,6 +174,51 @@ class MemoryModule:
         self._charge(STORE_SECONDS, "store_dialogue")
         return novel
 
+    # ------------------------------------------------------------------ #
+    # Step-batched delivery staging (repro.core.bus)
+    # ------------------------------------------------------------------ #
+
+    def stage_message(self, message: Message) -> None:
+        """Charge one message's store now; defer its write to the commit.
+
+        The bus path of the delivery pipeline: the modeled ``store_dialogue``
+        latency must land on the virtual clock at exactly the point the
+        per-delivery path charged it (between the sender's compose and the
+        next compose), but the dialogue/observation index writes can wait
+        until the whole step's deliveries are known.  Every stage must be
+        followed by :meth:`commit_staged_messages` before the next
+        retrieval — the read paths guard against forgotten commits.
+        """
+        self._staged_messages.append(message)
+        self._charge(STORE_SECONDS, "store_dialogue")
+
+    def commit_staged_messages(self) -> None:
+        """Apply all staged message writes in delivery order, in one pass.
+
+        Byte-equivalent to having called :meth:`store_message` per staged
+        message (minus the latency, which :meth:`stage_message` already
+        charged): the dialogue log, the observation store, and the
+        hot-path indices end up entry-for-entry identical because the
+        staged order is the delivery order.
+        """
+        staged = self._staged_messages
+        if not staged:
+            return
+        self._staged_messages = []
+        observations = self._observations
+        dialogue = self._dialogue
+        dialogue_steps = self._dialogue_steps
+        for message in staged:
+            self._slot_index.update(message.facts)
+            dialogue.append(message)
+            observations.extend(message.facts)
+            if self._fast:
+                if dialogue_steps and message.step < dialogue_steps[-1]:
+                    self._steps_sorted = False
+                dialogue_steps.append(message.step)
+                for fact in message.facts:
+                    self._index_fact(fact)
+
     def _index_fact(self, fact: Fact) -> None:
         """Maintain the slot-history and step-count indices for one fact."""
         self._obs_step_counts[fact.step] += 1
@@ -190,6 +246,11 @@ class MemoryModule:
 
     def retrieve(self, step: int) -> RetrievedMemory:
         """Fetch everything within the retention window, with latency."""
+        if self._staged_messages:
+            raise RuntimeError(
+                "staged message deliveries must be committed before retrieval "
+                "(DeliveryBus.flush was not called)"
+            )
         start = self._window_start(step)
         if self._fast and self._steps_sorted:
             return self._retrieve_indexed(step, start)
@@ -372,6 +433,11 @@ class MemoryModule:
         return len(self._observations) + len(self._actions) + len(self._dialogue)
 
     def dialogue_window(self, step: int) -> list[Message]:
+        if self._staged_messages:
+            raise RuntimeError(
+                "staged message deliveries must be committed before reading "
+                "the dialogue window (DeliveryBus.flush was not called)"
+            )
         start = self._window_start(step)
         if self._fast and self._steps_sorted:
             return self._dialogue[bisect_left(self._dialogue_steps, start) :]

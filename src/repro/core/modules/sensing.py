@@ -5,10 +5,20 @@ visible facts pass through detection noise (finite recall, occasional
 mislabels) and the perception latency is charged to the SENSING budget.
 Systems without a sensing module (Table II's ✗ entries, e.g. MindAgent)
 receive the simulator's symbolic state directly at negligible cost.
+
+Hot-path staging (:mod:`repro.core.hotpath`): the mislabel distractor
+vocabulary (``env.location_vocabulary()``) is episode-static for every
+shipped environment — room layouts never change mid-episode — so the
+module fetches it once per episode instead of once per step per agent;
+the detector itself consumes the identical rng stream either way (see
+:mod:`repro.perception.detector`).  Environments with a dynamic location
+vocabulary must not rely on the hot path, which is the documented
+contract of the staging.
 """
 
 from __future__ import annotations
 
+from repro.core import hotpath
 from repro.core.clock import ModuleName
 from repro.core.modules.base import ModuleContext
 from repro.core.types import Fact, Observation
@@ -28,6 +38,18 @@ class SensingModule:
         self.profile: PerceptionProfile | None = (
             get_perception(model) if model is not None else None
         )
+        self._fast = hotpath.enabled()
+        self._distractors: list[str] | None = None
+
+    def _distractor_values(self, env: Environment) -> list[str]:
+        """Mislabel vocabulary, fetched once per episode on the hot path."""
+        if not self._fast:
+            return env.location_vocabulary()
+        distractors = self._distractors
+        if distractors is None:
+            distractors = env.location_vocabulary()
+            self._distractors = distractors
+        return distractors
 
     def sense(self, env: Environment) -> tuple[Fact, ...]:
         """One perception pass from the agent's current viewpoint."""
@@ -44,7 +66,7 @@ class SensingModule:
             ground_facts,
             self.profile,
             self.context.rng,
-            distractor_values=env.location_vocabulary(),
+            distractor_values=self._distractor_values(env),
         )
         self.context.clock.advance(
             result.latency,

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import abc
 
+from repro.core import hotpath
 from repro.core.agent import EmbodiedAgent, PerceptionBundle
+from repro.core.bus import DeliveryBus
 from repro.core.clock import SimClock, host_profiler
 from repro.core.config import SystemConfig
 from repro.core.errors import FaultKind
 from repro.core.metrics import EpisodeResult, MetricsCollector
 from repro.core.seeding import derive_seed, rng_for
-from repro.core.types import Decision, StepRecord, TaskSpec
+from repro.core.types import Decision, Message, StepRecord, TaskSpec
 from repro.envs import make_env
 from repro.envs.base import ExecutionOutcome
 
@@ -43,6 +45,14 @@ class ParadigmLoop(abc.ABC):
             )
             for name in self.env.agents
         ]
+        self._agents_by_name = {agent.name: agent for agent in self.agents}
+        #: Step-batched delivery bus (hot path only); ``None`` selects the
+        #: seed's per-delivery fan-out in :meth:`deliver_message`.
+        self.bus: DeliveryBus | None = (
+            DeliveryBus(self.agents, self._agents_by_name, self.metrics)
+            if hotpath.enabled()
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # Episode driver
@@ -84,6 +94,38 @@ class ParadigmLoop(abc.ABC):
                 agent.begin_step(step)
                 bundles[agent.name] = agent.perceive(self.env)
         return bundles
+
+    def deliver_message(
+        self, message: Message, bundles: dict[str, PerceptionBundle]
+    ) -> None:
+        """Deliver ``message`` to every recipient.
+
+        Reference path: the seed's inline fan-out — one
+        ``receive_message`` (belief merge + memory write) per recipient,
+        usefulness recorded immediately.  Hot path: the delivery is staged
+        on the :class:`~repro.core.bus.DeliveryBus` and merged in batch at
+        the phase's :meth:`flush_deliveries` point.  Recipient iteration
+        order is ``message.recipients``, which every loop builds in agent
+        order, matching the seed's receiver loops exactly.
+        """
+        if self.bus is not None:
+            self.bus.stage(message, bundles)
+            return
+        novel_total = 0
+        for name in message.recipients:
+            receiver = self._agents_by_name[name]
+            novel_total += receiver.receive_message(message, bundles[name])
+        self.metrics.record_message(useful=novel_total > 0)
+
+    def flush_deliveries(self, bundles: dict[str, PerceptionBundle]) -> None:
+        """Apply staged deliveries (no-op on the reference path).
+
+        Must run before anything reads delivery-derived beliefs or
+        memory: the loops call it at the end of each dialogue/broadcast
+        phase, ahead of planning and execution.
+        """
+        if self.bus is not None:
+            self.bus.flush(bundles)
 
     def execute_and_reflect(
         self,

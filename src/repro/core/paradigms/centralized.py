@@ -170,12 +170,9 @@ class CentralizedLoop(ParadigmLoop):
         )
         if message is None:
             return
-        novel_total = 0
-        for agent in self.agents:
-            if agent is self.central:
-                continue
-            novel_total += agent.receive_message(message, bundles[agent.name])
-        self.metrics.record_message(useful=novel_total > 0)
+        self.deliver_message(message, bundles)
+        # The workers' beliefs must hold the broadcast before execution.
+        self.flush_deliveries(bundles)
 
     # ------------------------------------------------------------------ #
     # Worker bookkeeping

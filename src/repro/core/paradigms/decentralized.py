@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from repro.core.agent import EmbodiedAgent, PerceptionBundle
 from repro.core.paradigms.base import ParadigmLoop
-from repro.core.types import Message
 
 
 def dialogue_rounds(n_agents: int) -> int:
@@ -122,12 +121,25 @@ class DecentralizedLoop(ParadigmLoop):
         post_plan: bool = False,
     ) -> None:
         rounds = 1 if post_plan else dialogue_rounds(len(self.agents))
+        # On the bus path the per-agent known-facts snapshot is hoisted
+        # out of the round loop: it is fixed at perceive time, and a
+        # stable list identity lets the comm module stage its sorted
+        # payload once per step (the reference path rebuilds per round,
+        # as the seed did).
+        staged = self.bus is not None
+        known_by_agent: dict[str, list] = {}
         for _round in range(rounds):
             for agent in self.agents:
                 if agent.comm is None:
                     continue
                 bundle = bundles[agent.name]
-                known = list(bundle.current_facts) + bundle.memory_facts
+                if staged:
+                    known = known_by_agent.get(agent.name)
+                    if known is None:
+                        known = list(bundle.current_facts) + bundle.memory_facts
+                        known_by_agent[agent.name] = known
+                else:
+                    known = list(bundle.current_facts) + bundle.memory_facts
                 message = agent.comm.compose(
                     step=step,
                     recipients=tuple(
@@ -141,20 +153,8 @@ class DecentralizedLoop(ParadigmLoop):
                 )
                 if message is None:
                     continue
-                self._deliver(message, bundles, sender=agent)
-
-    def _deliver(
-        self,
-        message: Message,
-        bundles: dict[str, PerceptionBundle],
-        sender: EmbodiedAgent,
-    ) -> None:
-        novel_total = 0
-        for receiver in self.agents:
-            if receiver is sender:
-                continue
-            novel_total += receiver.receive_message(message, bundles[receiver.name])
-        self.metrics.record_message(useful=novel_total > 0)
+                self.deliver_message(message, bundles)
+        self.flush_deliveries(bundles)
 
     # ------------------------------------------------------------------ #
     # CoELA's extra action-selection stage

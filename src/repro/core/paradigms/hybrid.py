@@ -70,9 +70,11 @@ class HybridLoop(CentralizedLoop):
             )
             if message is None:
                 continue
-            novel = self.central.receive_message(message, bundles[self.central.name])
-            self.metrics.record_message(useful=novel > 0)
+            self.deliver_message(message, bundles)
             any_feedback = True
+        # The centre's refined plan follows immediately; merge its staged
+        # feedback before that second call reads anything belief-derived.
+        self.flush_deliveries(bundles)
         return any_feedback
 
     def _refined_plan(

@@ -6,6 +6,17 @@ the unit of measurement for every figure in the paper.  Trials are
 independent, so ``run_trials`` can fan them out across processes via a
 :class:`~repro.core.executor.TrialExecutor`; the default serial executor
 reproduces the seed behaviour bit for bit.
+
+The per-step pipeline a built loop drives is, since hot-path phase 3,
+*delivery-staged*: perceive all agents, stage every composed message on
+the step's :class:`~repro.core.bus.DeliveryBus` (prompt-visible
+immediately, modeled latency charged in place), flush the bus — one
+batched belief merge and one batched dialogue-memory commit per receiver
+— then plan, execute, and reflect.  With ``REPRO_HOTPATH`` disabled the
+loops instead run the seed's per-delivery fan-out; both pipelines
+produce byte-identical episodes (the golden equivalence suite asserts
+it), so everything downstream of :func:`run_episode` is
+pipeline-agnostic.
 """
 
 from __future__ import annotations

@@ -83,6 +83,15 @@ class Environment(abc.ABC):
         self._candidate_cache: CandidateCache | None = (
             CandidateCache() if hotpath.enabled() else None
         )
+        # Per-step position staging (hot path only): agent positions only
+        # change when an agent executes, and every paradigm loop perceives
+        # all agents before anyone acts, so the O(n^2) position reads of
+        # the observation pass can share one lookup per agent per step.
+        # Cleared on tick() and by the execution module after every
+        # execute (covering replans and custom loops).
+        self._position_cache: dict[str, str] | None = (
+            {} if hotpath.enabled() else None
+        )
         # candidates() is no longer @abstractmethod (the base class now
         # drives candidate_slots() when provided), so re-create the
         # construction-time failure a forgotten affordance hook used to
@@ -108,6 +117,8 @@ class Environment(abc.ABC):
         """
         self.state.step_index += 1
         self.state.claims.clear()
+        if self._position_cache:
+            self._position_cache.clear()
 
     def claim(self, resource: str, agent: str) -> bool:
         """Claim a contended resource for this macro step.
@@ -146,17 +157,54 @@ class Environment(abc.ABC):
     def agent_position(self, agent: str) -> str:
         """Human-readable position label for prompts."""
 
+    def position_of(self, agent: str) -> str:
+        """:meth:`agent_position`, served from the per-step staging cache.
+
+        Use this accessor on read paths (perception, observation
+        assembly); it is exactly ``agent_position`` on the reference path
+        and one lookup per agent per step on the hot path.
+        """
+        cache = self._position_cache
+        if cache is None:
+            return self.agent_position(agent)
+        position = cache.get(agent)
+        if position is None:
+            position = self.agent_position(agent)
+            cache[agent] = position
+        return position
+
+    def invalidate_positions(self) -> None:
+        """Drop staged positions after world mutation (execution module)."""
+        if self._position_cache:
+            self._position_cache.clear()
+
     def observation(self, agent: str, facts: tuple[Fact, ...]) -> Observation:
         """Wrap (already noise-filtered) facts into an observation."""
+        if self._position_cache is None:
+            # Reference path: the seed's per-comparison position reads.
+            visible_agents = tuple(
+                other
+                for other in self.agents
+                if other != agent
+                and self.agent_position(other) == self.agent_position(agent)
+            )
+            return Observation(
+                agent=agent,
+                step=self.state.step_index,
+                position=self.agent_position(agent),
+                facts=facts,
+                visible_agents=visible_agents,
+            )
+        position = self.position_of(agent)
         visible_agents = tuple(
             other
             for other in self.agents
-            if other != agent and self.agent_position(other) == self.agent_position(agent)
+            if other != agent and self.position_of(other) == position
         )
         return Observation(
             agent=agent,
             step=self.state.step_index,
-            position=self.agent_position(agent),
+            position=position,
             facts=facts,
             visible_agents=visible_agents,
         )

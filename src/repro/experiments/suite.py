@@ -18,8 +18,11 @@ Knob precedence: the ``--concurrent-sections`` flag wins over
 ``ExperimentSettings`` defaults, i.e. ``REPRO_TRIALS`` / ``REPRO_WORKERS``
 unless a caller passes explicit settings.  Concurrent sections share one
 process, so they also share the (single-threaded) ``REPRO_PROFILE``
-probe — profile serial runs only.  See docs/performance.md for the full
-knob table.
+probe — profile serial runs only.  As the repo's longest run, the CLI
+entry point defaults the process to the coarse clock (every section
+consumes only finalized aggregates; totals are byte-identical) —
+``REPRO_CLOCK=span`` forces per-span recording.  See
+docs/performance.md for the full knob table.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.analysis.tables import render_table1, render_table2
+from repro.core.clock import default_to_coarse_for_sweeps
 from repro.experiments import (
     ablations,
     fig2_latency,
@@ -109,6 +113,7 @@ def main(argv: list[str] | None = None) -> None:
         "(default follows REPRO_SUITE_CONCURRENT)",
     )
     args = parser.parse_args(argv)
+    default_to_coarse_for_sweeps()
     print(run_all(concurrent_sections=args.concurrent_sections))
 
 

@@ -187,6 +187,57 @@ class _IdentitySectionMemo:
 _CANDIDATE_SECTIONS = _IdentitySectionMemo()
 
 
+class _WindowSectionMemo:
+    """Bounded memo: dialogue window (by message identity) -> section.
+
+    The key is the tuple of the window's message ids; each entry pins the
+    message objects themselves, so while an entry lives its ids cannot be
+    recycled — an id-tuple match therefore guarantees object identity,
+    and rendered text/token counts are pure functions of those objects.
+    Windows recur a lot on the step-batched delivery path: quiet steps
+    retrieve the very same message objects again, a centralized broadcast
+    re-renders the window its joint plan just used, and planner prompts
+    re-render the window the last compose of the step built.
+
+    Unlike ``_IdentitySectionMemo`` the read path is lock-free: a plain
+    dict ``get`` is atomic under the GIL, entries are immutable tuples,
+    and a racing writer can only make a reader miss (rebuild the same
+    pure value), never observe a torn entry.  Writers serialize on a lock
+    and clear the map outright at capacity — windows churn steadily, so
+    LRU precision buys nothing over wholesale eviction.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._entries: dict[
+            tuple[int, ...], tuple[tuple[Message, ...], PromptSection]
+        ] = {}
+        self._capacity = capacity
+        self._lock = threading.Lock()
+
+    def get(self, key: tuple[int, ...]) -> PromptSection | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return entry[1]
+
+    def put(
+        self, key: tuple[int, ...], window: list[Message], section: PromptSection
+    ) -> None:
+        with self._lock:
+            if len(self._entries) >= self._capacity:
+                self._entries.clear()
+            self._entries[key] = (tuple(window), section)
+
+
+_DIALOGUE_SECTIONS = _WindowSectionMemo()
+
+#: Dialogue windows shorter than this are cheaper to re-render (describes
+#: and per-piece token counts are already memoized) than to key and look
+#: up, so the memo only engages once the window is long enough for the
+#: join + token summation to dominate.
+_DIALOGUE_MEMO_MIN_MESSAGES = 12
+
+
 class PromptBuilder:
     """Fluent builder producing :class:`Prompt` objects from sim objects.
 
@@ -222,7 +273,7 @@ class PromptBuilder:
             self._prompt.add("observation", observation.describe())
         return self
 
-    def memory(self, facts: list[Fact]) -> "PromptBuilder":
+    def memory(self, facts: "Sequence[Fact]") -> "PromptBuilder":
         if facts:
             self.described_list("memory", facts)
         return self
@@ -255,13 +306,23 @@ class PromptBuilder:
         """
         if messages:
             recent = messages[-MAX_DIALOGUE_MESSAGES:]
-            parts = [message.describe() for message in recent]
-            text = " ".join(parts)
             if self._fast:
-                tokens = sum(count_tokens(part) for part in parts)
-                self._prompt.append_section(PromptSection("dialogue", text, tokens))
+                key = (
+                    tuple(map(id, recent))
+                    if len(recent) >= _DIALOGUE_MEMO_MIN_MESSAGES
+                    else None
+                )
+                section = _DIALOGUE_SECTIONS.get(key) if key is not None else None
+                if section is None:
+                    parts = [message.describe() for message in recent]
+                    tokens = sum(count_tokens(part) for part in parts)
+                    section = PromptSection("dialogue", " ".join(parts), tokens)
+                    if key is not None:
+                        _DIALOGUE_SECTIONS.put(key, recent, section)
+                self._prompt.append_section(section)
             else:
-                self._prompt.add("dialogue", text)
+                parts = [message.describe() for message in recent]
+                self._prompt.add("dialogue", " ".join(parts))
         return self
 
     def candidates(self, candidates: "Sequence[Candidate]") -> "PromptBuilder":

@@ -106,12 +106,9 @@ class HierarchicalLoop(ParadigmLoop):
             )
             if message is None:
                 continue
-            novel_total = 0
-            for other in leads:
-                if other is lead:
-                    continue
-                novel_total += other.receive_message(message, bundles[other.name])
-            self.metrics.record_message(useful=novel_total > 0)
+            self.deliver_message(message, bundles)
+        # Cluster planning reads the leads' merged beliefs next.
+        self.flush_deliveries(bundles)
 
     # ------------------------------------------------------------------ #
     # Within-cluster joint planning
