@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath bench-comm lint format suite docs-check
+.PHONY: test bench bench-hotpath bench-comm bench-serving bench-all lint format suite docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -27,6 +27,16 @@ bench-hotpath:
 bench-comm:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
 		$(PYTHON) -m pytest benchmarks/bench_comm.py -x -q -s
+
+# Batched-serving modeled-latency gate (inference scheduler, Rec. 1):
+# outcome invariance plus the >20%-regression gate against
+# benchmarks/baselines/BENCH_serving.json.  Emits BENCH_serving.json.
+bench-serving:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
+		$(PYTHON) -m pytest benchmarks/bench_serving.py -x -q -s
+
+# The three gated benchmarks CI runs, in one target.
+bench-all: bench-hotpath bench-comm bench-serving
 
 lint:
 	ruff check .

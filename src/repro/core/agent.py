@@ -33,6 +33,7 @@ from repro.core.types import Decision, Fact, Message, Observation, Subgoal
 from repro.envs.base import Environment, ExecutionOutcome
 from repro.llm.deployment import DeploymentOptions
 from repro.llm.profiles import get_profile
+from repro.llm.scheduler import InferenceScheduler
 from repro.llm.simulated import SimulatedLLM
 
 #: How many recently-failed subgoals the agent avoids re-issuing, and for
@@ -150,6 +151,7 @@ class EmbodiedAgent:
         clock: SimClock,
         metrics: MetricsCollector,
         seed: int,
+        scheduler: InferenceScheduler | None = None,
     ) -> None:
         self.name = name
         self.config = config
@@ -161,8 +163,15 @@ class EmbodiedAgent:
         self._static_beliefs = (
             Beliefs.from_facts(self._static_facts) if hotpath.enabled() else None
         )
+        # The paradigm loop passes its episode-wide scheduler so requests
+        # from different agents can meet in one serving layer; a
+        # standalone agent gets a private per-call one via ModuleContext.
         self.context = ModuleContext(
-            agent=name, clock=clock, metrics=metrics, rng=rng_for(seed, name, "modules")
+            agent=name,
+            clock=clock,
+            metrics=metrics,
+            rng=rng_for(seed, name, "modules"),
+            scheduler=scheduler,
         )
 
         self.planner_llm = SimulatedLLM(

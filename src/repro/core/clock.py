@@ -38,6 +38,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, NamedTuple
 
+from repro.core.envknobs import choice_knob
+
 
 class ModuleName(enum.Enum):
     """The six building blocks of the paper's taxonomy (Sec. II-A)."""
@@ -141,8 +143,13 @@ class HostProfiler:
 # --------------------------------------------------------------------- #
 
 
+#: Accepted ``REPRO_CLOCK`` values; ``span`` and ``full`` are synonyms
+#: for the default per-span recording.
+CLOCK_MODES = ("full", "span", "coarse")
+
+
 def _coarse_from_env() -> bool:
-    return os.environ.get("REPRO_CLOCK", "").strip().lower() == "coarse"
+    return choice_knob("REPRO_CLOCK", default="full", choices=CLOCK_MODES) == "coarse"
 
 
 def default_to_coarse_for_sweeps() -> bool:

@@ -29,8 +29,9 @@ Contracts:
 - **Knob precedence** — ``REPRO_WORKERS`` only supplies the *default*
   (serial at 1, parallel above); explicit ``ExperimentSettings(executor=,
   max_workers=)`` or a directly constructed executor always wins.
-  Workers re-read ``REPRO_HOTPATH``/``REPRO_CLOCK`` from the environment
-  at spawn — in-process overrides do not cross the pool boundary.
+  Workers re-read ``REPRO_HOTPATH``/``REPRO_CLOCK``/``REPRO_SERVE`` from
+  the environment at spawn — in-process overrides do not cross the pool
+  boundary.
 - **Failure surface** — a crashed trial raises ``TrialExecutionError``
   naming the job; it never hangs and never drops results.
 """

@@ -30,15 +30,14 @@ on :func:`enabled` must keep the golden equivalence suite green.
 
 from __future__ import annotations
 
-import os
 from contextlib import contextmanager
 from typing import Iterator
 
-_FALSE_VALUES = frozenset({"0", "off", "false", "no"})
+from repro.core.envknobs import bool_knob
 
 
 def _from_env() -> bool:
-    return os.environ.get("REPRO_HOTPATH", "").strip().lower() not in _FALSE_VALUES
+    return bool_knob("REPRO_HOTPATH", default=True)
 
 
 _enabled = _from_env()

@@ -55,10 +55,22 @@ class EpisodeResult:
     replans: int
     records: list[StepRecord]
     token_samples: list[TokenSample]
+    #: Inference-serving statistics (``REPRO_SERVE=batched`` /
+    #: Rec. 1 batching): dispatch groups flushed and requests they
+    #: carried.  Both zero under per-call serving.
+    serve_batches: int = 0
+    serve_batched_requests: int = 0
 
     @property
     def sim_minutes(self) -> float:
         return self.sim_seconds / 60.0
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean requests per dispatched batch (0 under per-call serving)."""
+        if self.serve_batches == 0:
+            return 0.0
+        return self.serve_batched_requests / self.serve_batches
 
     @property
     def seconds_per_step(self) -> float:
@@ -118,6 +130,8 @@ class MetricsCollector:
     messages_useful: int = 0
     reflections_triggered: int = 0
     replans: int = 0
+    serve_batches: int = 0
+    serve_batched_requests: int = 0
 
     def record_llm_call(
         self, step: int, agent: str, purpose: str, prompt_tokens: int, output_tokens: int
@@ -143,6 +157,11 @@ class MetricsCollector:
         self.messages_sent += 1
         if useful:
             self.messages_useful += 1
+
+    def record_batch(self, occupancy: int) -> None:
+        """One batched-serving dispatch group of ``occupancy`` requests."""
+        self.serve_batches += 1
+        self.serve_batched_requests += occupancy
 
     def record_step(self, record: StepRecord) -> None:
         self.records.append(record)
@@ -172,6 +191,8 @@ class MetricsCollector:
             replans=self.replans,
             records=self.records,
             token_samples=self.token_samples,
+            serve_batches=self.serve_batches,
+            serve_batched_requests=self.serve_batched_requests,
         )
 
 
@@ -221,6 +242,9 @@ class AggregateResult:
     message_usefulness: float
     mean_messages_sent: float
     mean_goal_progress: float
+    #: Mean requests per batched-serving dispatch group across the
+    #: cell's trials (0.0 when every trial served per-call).
+    mean_batch_occupancy: float = 0.0
 
     def module_breakdown(self) -> dict[ModuleName, float]:
         total = sum(self.module_seconds.values())
@@ -242,6 +266,8 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
             module_totals[module].append(result.module_seconds.get(module, 0.0))
     total_sent = sum(result.messages_sent for result in results)
     total_useful = sum(result.messages_useful for result in results)
+    total_batches = sum(result.serve_batches for result in results)
+    total_batched = sum(result.serve_batched_requests for result in results)
     return AggregateResult(
         workload=results[0].workload,
         n_trials=len(results),
@@ -258,4 +284,5 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
         message_usefulness=(total_useful / total_sent) if total_sent else 0.0,
         mean_messages_sent=mean(result.messages_sent for result in results),
         mean_goal_progress=mean(result.goal_progress for result in results),
+        mean_batch_occupancy=(total_batched / total_batches) if total_batches else 0.0,
     )

@@ -1,10 +1,14 @@
 """Shared module machinery: the per-agent execution context.
 
 Every module receives a :class:`ModuleContext` binding it to one agent's
-identity, the episode's virtual clock, the metrics sink, and a dedicated
-random substream.  Modules advance the clock themselves, tagged with
-their :class:`~repro.core.clock.ModuleName`, which is what produces the
-paper's per-module latency breakdowns.
+identity, the episode's virtual clock, the metrics sink, the episode's
+inference scheduler, and a dedicated random substream.  LLM-backed
+modules describe their calls as
+:class:`~repro.llm.requests.InferenceRequest` envelopes and submit them
+through the context's scheduler, which advances the clock tagged with
+the request's :class:`~repro.core.clock.ModuleName` — what produces the
+paper's per-module latency breakdowns; non-LLM costs (actuation,
+sensing, memory scans) are still charged by the modules directly.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ import numpy as np
 
 from repro.core.clock import SimClock
 from repro.core.metrics import MetricsCollector
+from repro.llm.scheduler import InferenceScheduler
 
 
 @dataclass
@@ -25,6 +30,18 @@ class ModuleContext:
     clock: SimClock
     metrics: MetricsCollector
     rng: np.random.Generator
+    #: The episode's serving layer.  Paradigm loops pass their shared
+    #: scheduler so cross-agent requests can batch; a standalone module
+    #: stack (unit tests, ad-hoc drivers) defaults to a private per-call
+    #: scheduler bound to the same clock/metrics, which reproduces the
+    #: pre-scheduler accounting exactly.
+    scheduler: InferenceScheduler | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheduler is None:
+            self.scheduler = InferenceScheduler(
+                self.clock, self.metrics, mode="percall"
+            )
 
     @property
     def step(self) -> int:

@@ -28,6 +28,7 @@ from repro.core.clock import ModuleName
 from repro.core.modules.base import ModuleContext
 from repro.core.types import Fact, Message, Subgoal
 from repro.llm.prompt import COMMUNICATOR_SYSTEM_TEXT, PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import SimulatedLLM
 
 #: How many recently-learned facts a message shares.
@@ -140,19 +141,17 @@ class CommunicationModule:
             )
             .build()
         )
-        generation = self.llm.generate(prompt, purpose="message")
-        self.context.clock.advance(
-            generation.latency,
-            ModuleName.COMMUNICATION,
-            phase="compose",
-            agent=self.context.agent,
-        )
-        self.context.metrics.record_llm_call(
-            step=step,
-            agent=self.context.agent,
-            purpose="message",
-            prompt_tokens=generation.prompt_tokens,
-            output_tokens=generation.output_tokens,
+        self.context.scheduler.submit(
+            self.llm,
+            InferenceRequest(
+                kind="generation",
+                purpose="message",
+                prompt=prompt,
+                module=ModuleName.COMMUNICATION,
+                phase="compose",
+                agent=self.context.agent,
+                step=step,
+            ),
         )
         for fact in payload:
             self._last_shared[fact.key()] = fact.value

@@ -20,6 +20,7 @@ from repro.core.modules.base import ModuleContext
 from repro.core.types import Subgoal
 from repro.envs.base import Environment, ExecutionOutcome
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import SimulatedLLM
 
 #: Per-primitive reliability multiplier when the LLM drives low-level
@@ -88,19 +89,20 @@ class ExecutionModule:
         )
         per_primitive_p = reliability * LLM_PRIMITIVE_QUALITY
         for index in range(n_primitives):
-            generation = self.fallback_llm.generate(prompt, purpose="primitive")
-            self.context.clock.advance(
-                generation.latency,
-                ModuleName.EXECUTION,
-                phase="llm_primitive",
-                agent=self.context.agent,
-            )
-            self.context.metrics.record_llm_call(
-                step=self.context.step,
-                agent=self.context.agent,
-                purpose="primitive",
-                prompt_tokens=generation.prompt_tokens,
-                output_tokens=generation.output_tokens,
+            self.context.scheduler.submit(
+                self.fallback_llm,
+                InferenceRequest(
+                    kind="generation",
+                    purpose="primitive",
+                    prompt=prompt,
+                    module=ModuleName.EXECUTION,
+                    phase="llm_primitive",
+                    agent=self.context.agent,
+                    step=self.context.step,
+                    # Primitive i+1 is only issued if i came out right:
+                    # the chain is serial and must never batch.
+                    sequential=True,
+                ),
             )
             if self.context.rng.random() > per_primitive_p:
                 self.context.clock.advance(

@@ -1,11 +1,12 @@
 """Planning module: LLM-backed subgoal selection.
 
 Builds the full structured prompt (system scaffold, task, observation,
-retrieved memory, dialogue history, enumerated candidates), issues the
-simulated LLM decision, and charges the latency to the PLANNING budget.
-Also implements planning-guided multi-step execution (Recommendation 7):
-one call can emit a queue of consecutive subgoals, amortizing prompt
-processing over several macro steps.
+retrieved memory, dialogue history, enumerated candidates), submits the
+decision request through the episode's inference scheduler, which
+charges the latency to the PLANNING budget.  Also implements
+planning-guided multi-step execution (Recommendation 7): one call can
+emit a queue of consecutive subgoals, amortizing prompt processing over
+several macro steps.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ from repro.core.modules.memory import ActionRecord
 from repro.core.types import Candidate, Decision, Fact, Message, Observation, Subgoal
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PLANNER_SYSTEM_TEXT, Prompt, PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import OUTPUT_TOKENS, SimulatedLLM
 
 #: Cap on how many recent action records are rendered into the prompt
@@ -85,20 +87,22 @@ class PlanningModule:
             blacklist=blacklist,
             quality_bonus=quality_bonus,
         )
-        decision = self.llm.decide(request, prompt, purpose=purpose)
         agent = charge_agent if charge_agent is not None else self.context.agent
-        self.context.clock.advance(
-            decision.latency, ModuleName.PLANNING, phase=purpose, agent=agent
+        result = self.context.scheduler.submit(
+            self.llm,
+            InferenceRequest(
+                kind="decision",
+                purpose=purpose,
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase=purpose,
+                agent=agent,
+                step=self.context.step,
+                decision=request,
+            ),
         )
-        self.context.metrics.record_llm_call(
-            step=self.context.step,
-            agent=agent,
-            purpose=purpose,
-            prompt_tokens=decision.prompt_tokens,
-            output_tokens=decision.output_tokens,
-        )
-        self.context.metrics.record_fault(decision.fault)
-        return decision
+        assert result.decision is not None
+        return result.decision
 
     def decide_multi(
         self,
@@ -126,16 +130,18 @@ class PlanningModule:
         prompt_tokens = prompt.tokens
         base_output = OUTPUT_TOKENS["plan"]
         output_tokens = int(base_output * (1 + MULTISTEP_OUTPUT_FACTOR * (horizon - 1)))
-        latency = self.llm.profile.call_latency(prompt_tokens, output_tokens)
-        self.context.clock.advance(
-            latency, ModuleName.PLANNING, phase="plan_multi", agent=self.context.agent
-        )
-        self.context.metrics.record_llm_call(
-            step=self.context.step,
-            agent=self.context.agent,
-            purpose="plan",
-            prompt_tokens=prompt_tokens,
-            output_tokens=output_tokens,
+        self.context.scheduler.submit(
+            self.llm,
+            InferenceRequest(
+                kind="completion",
+                purpose="plan",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="plan_multi",
+                agent=self.context.agent,
+                step=self.context.step,
+                output_tokens=output_tokens,
+            ),
         )
         chosen: set[Subgoal] = set()
         remaining = list(candidates)

@@ -17,6 +17,7 @@ from repro.core.modules.base import ModuleContext
 from repro.core.types import Decision
 from repro.envs.base import ExecutionOutcome
 from repro.llm.prompt import REFLECTOR_SYSTEM_TEXT, PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import SimulatedLLM
 
 #: Subgoal families whose failure indicates a wrong location belief.
@@ -63,20 +64,20 @@ class ReflectionModule:
             )
             .build()
         )
-        verdict, generation = self.llm.judge(prompt, true_failure)
-        self.context.clock.advance(
-            generation.latency,
-            ModuleName.REFLECTION,
-            phase="review",
-            agent=self.context.agent,
+        result = self.context.scheduler.submit(
+            self.llm,
+            InferenceRequest(
+                kind="judgement",
+                purpose="reflection",
+                prompt=prompt,
+                module=ModuleName.REFLECTION,
+                phase="review",
+                agent=self.context.agent,
+                step=step,
+                true_outcome=true_failure,
+            ),
         )
-        self.context.metrics.record_llm_call(
-            step=step,
-            agent=self.context.agent,
-            purpose="reflection",
-            prompt_tokens=generation.prompt_tokens,
-            output_tokens=generation.output_tokens,
-        )
+        verdict = result.verdict
         if not verdict:
             return ReflectionReport(
                 judged_failure=False, true_failure=true_failure, should_replan=False

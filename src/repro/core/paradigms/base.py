@@ -21,6 +21,7 @@ from repro.core.seeding import derive_seed, rng_for
 from repro.core.types import Decision, Message, StepRecord, TaskSpec
 from repro.envs import make_env
 from repro.envs.base import ExecutionOutcome
+from repro.llm.scheduler import InferenceScheduler, resolve_serve_mode
 
 
 class ParadigmLoop(abc.ABC):
@@ -33,6 +34,12 @@ class ParadigmLoop(abc.ABC):
         self.clock = SimClock()
         self.metrics = MetricsCollector(workload=config.name, horizon=task.horizon)
         self.env = make_env(task, rng_for(seed, "env", task.env_name))
+        #: The episode's serving layer, shared by every agent's module
+        #: stack so phase-concurrent requests can meet in one place.
+        #: Mode: the config's Rec. 1 ``batching`` flag, else ``REPRO_SERVE``.
+        self.scheduler = InferenceScheduler(
+            self.clock, self.metrics, mode=resolve_serve_mode(config)
+        )
         agent_seed = derive_seed(seed, "agents")
         self.agents: list[EmbodiedAgent] = [
             EmbodiedAgent(
@@ -42,6 +49,7 @@ class ParadigmLoop(abc.ABC):
                 clock=self.clock,
                 metrics=self.metrics,
                 seed=agent_seed,
+                scheduler=self.scheduler,
             )
             for name in self.env.agents
         ]
@@ -68,6 +76,10 @@ class ParadigmLoop(abc.ABC):
         for step in range(1, self.task.horizon + 1):
             self.env.tick()
             self.step(step)
+            # Catch-all serving flush: whatever the step's last phase
+            # left pending (execution-side reflections, replans) is
+            # dispatched before the next step — and before finalize.
+            self.scheduler.flush()
             steps = step
             if self.env.is_success():
                 break
@@ -127,6 +139,18 @@ class ParadigmLoop(abc.ABC):
         if self.bus is not None:
             self.bus.flush(bundles)
 
+    def flush_inference(self) -> None:
+        """Dispatch the phase's pending inference requests.
+
+        The loops call it at their phase boundaries — the end of a
+        dialogue round, the end of the planning fan-out — which is what
+        defines "phase-concurrent" for batched serving: requests still
+        pending at the flush shared a phase and dispatch as occupancy-
+        aware batches.  No-op under per-call serving, where nothing is
+        ever pending.
+        """
+        self.scheduler.flush()
+
     def execute_and_reflect(
         self,
         step: int,
@@ -159,6 +183,9 @@ class ParadigmLoop(abc.ABC):
                 record.replanned = True
                 self.metrics.replans += 1
                 bundle.beliefs.forget(report.forget_subject, report.forget_relation)
+                # The retry depends on this reflection's verdict: it must
+                # not share a serving batch with the calls it follows.
+                self.flush_inference()
                 retry = agent.plan(
                     self.env,
                     bundle,

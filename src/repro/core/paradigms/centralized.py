@@ -18,6 +18,7 @@ from repro.core.paradigms.base import ParadigmLoop
 from repro.core.types import Candidate, Decision
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import OUTPUT_TOKENS
 
 #: Output tokens the joint plan spends per additional agent.
@@ -106,16 +107,18 @@ class CentralizedLoop(ParadigmLoop):
             n_agents - 1
         )
         llm = self.central.planner_llm
-        latency = llm.profile.call_latency(prompt_tokens, output_tokens)
-        self.clock.advance(
-            latency, ModuleName.PLANNING, phase="joint_plan", agent=self.central.name
-        )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=self.central.name,
-            purpose="plan",
-            prompt_tokens=prompt_tokens,
-            output_tokens=output_tokens,
+        self.scheduler.submit(
+            llm,
+            InferenceRequest(
+                kind="completion",
+                purpose="plan",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="joint_plan",
+                agent=self.central.name,
+                step=step,
+                output_tokens=output_tokens,
+            ),
         )
         decisions: dict[str, Decision] = {}
         if not sample_decisions:
@@ -173,6 +176,9 @@ class CentralizedLoop(ParadigmLoop):
         self.deliver_message(message, bundles)
         # The workers' beliefs must hold the broadcast before execution.
         self.flush_deliveries(bundles)
+        # Serving phase boundary: the broadcast never batches with the
+        # execution-side calls that follow it.
+        self.flush_inference()
 
     # ------------------------------------------------------------------ #
     # Worker bookkeeping

@@ -18,7 +18,11 @@ planning, and message usefulness (novel-fact ratio) is measured so the
 The ``plan_then_comm`` optimization (Rec. 8) flips phases 2 and 3 and
 composes messages only when the planner found something worth saying;
 ``comm_filter`` (Rec. 10) suppresses redundant generations inside the
-communication module itself.
+communication module itself.  Request batching (Rec. 1) is no longer a
+special-cased planning path: every call rides the loop's inference
+scheduler, and a batching-enabled config (or ``REPRO_SERVE=batched``)
+dispatches each phase's per-agent requests as occupancy-aware batches at
+the ``flush_inference`` points below.
 """
 
 from __future__ import annotations
@@ -39,76 +43,21 @@ class DecentralizedLoop(ParadigmLoop):
         bundles = self.perceive_all(step)
         if not self.config.optimizations.plan_then_comm:
             self._dialogue_phase(step, bundles)
-        if self.config.optimizations.batching and self._can_batch():
-            decisions = self._batched_planning(step, bundles)
-        else:
-            decisions = {}
-            for agent in self.agents:
-                decisions[agent.name] = agent.plan(self.env, bundles[agent.name])
-                if self.config.action_selection_llm:
-                    self._action_selection_call(step, agent, decisions[agent.name])
+        decisions = {}
+        for agent in self.agents:
+            decisions[agent.name] = agent.plan(self.env, bundles[agent.name])
+            if self.config.action_selection_llm:
+                self._action_selection_call(step, agent, decisions[agent.name])
+        # Per-agent plans (and CoELA's action selections) are issued
+        # independently: under batched serving they dispatch here as one
+        # batch per purpose.
+        self.flush_inference()
         if self.config.optimizations.plan_then_comm:
             self._dialogue_phase(step, bundles, post_plan=True)
         for agent in self.agents:
             self.execute_and_reflect(
                 step, agent, bundles[agent.name], decisions[agent.name]
             )
-
-    # ------------------------------------------------------------------ #
-    # Batched planning (Recommendation 1)
-    # ------------------------------------------------------------------ #
-
-    def _can_batch(self) -> bool:
-        """Batching needs the planners co-located on one local server."""
-        return all(
-            agent.planner_llm.profile.deployment == "local" for agent in self.agents
-        )
-
-    def _batched_planning(
-        self, step: int, bundles: dict[str, PerceptionBundle]
-    ) -> dict:
-        """Aggregate every agent's planning request into one batch call."""
-        from repro.core.clock import ModuleName
-        from repro.llm.behavior import DecisionRequest
-
-        requests, prompts = [], []
-        for agent in self.agents:
-            bundle = bundles[agent.name]
-            candidates = self.env.candidates(agent.name, bundle.beliefs)
-            prompts.append(
-                agent.planner.build_prompt(
-                    observation=bundle.observation,
-                    memory_facts=bundle.memory_facts,
-                    action_records=bundle.action_records,
-                    dialogue=bundle.dialogue,
-                    candidates=candidates,
-                )
-            )
-            requests.append(
-                DecisionRequest(
-                    candidates=candidates,
-                    difficulty=self.env.task.difficulty,
-                    blacklist=agent.state.blacklisted(step),
-                )
-            )
-        server = self.agents[0].planner_llm
-        batch = server.batched_decide(requests, prompts)
-        self.clock.advance(
-            batch[0].latency, ModuleName.PLANNING, phase="batched_plan", agent="batch"
-        )
-        decisions = {}
-        for agent, decision, prompt in zip(self.agents, batch, prompts):
-            self.metrics.record_llm_call(
-                step=step,
-                agent=agent.name,
-                purpose="plan",
-                prompt_tokens=prompt.tokens,
-                output_tokens=decision.output_tokens,
-            )
-            self.metrics.record_fault(decision.fault)
-            agent.state.last_intent = decision.subgoal
-            decisions[agent.name] = decision
-        return decisions
 
     # ------------------------------------------------------------------ #
     # Dialogue
@@ -154,6 +103,11 @@ class DecentralizedLoop(ParadigmLoop):
                 if message is None:
                     continue
                 self.deliver_message(message, bundles)
+            # A round's composes are the phase-concurrent unit: each
+            # speaker drafts against the dialogue as it stood when the
+            # round began its turn order, so batched serving dispatches
+            # one compose batch per round.
+            self.flush_inference()
         self.flush_deliveries(bundles)
 
     # ------------------------------------------------------------------ #
@@ -163,6 +117,7 @@ class DecentralizedLoop(ParadigmLoop):
     def _action_selection_call(self, step: int, agent: EmbodiedAgent, decision) -> None:
         from repro.core.clock import ModuleName
         from repro.llm.prompt import PromptBuilder
+        from repro.llm.requests import InferenceRequest
 
         prompt = (
             PromptBuilder()
@@ -173,17 +128,15 @@ class DecentralizedLoop(ParadigmLoop):
             )
             .build()
         )
-        generation = agent.planner_llm.generate(prompt, purpose="action_selection")
-        self.clock.advance(
-            generation.latency,
-            ModuleName.PLANNING,
-            phase="action_selection",
-            agent=agent.name,
-        )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=agent.name,
-            purpose="action_selection",
-            prompt_tokens=generation.prompt_tokens,
-            output_tokens=generation.output_tokens,
+        self.scheduler.submit(
+            agent.planner_llm,
+            InferenceRequest(
+                kind="generation",
+                purpose="action_selection",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="action_selection",
+                agent=agent.name,
+                step=step,
+            ),
         )

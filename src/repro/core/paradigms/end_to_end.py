@@ -16,6 +16,7 @@ from repro.core.paradigms.base import ParadigmLoop
 from repro.core.types import StepRecord
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 
 #: The VLA's internal vision encoder, charged to SENSING per tick.
 VLA_VISION_ENCODE_SECONDS = 0.04
@@ -46,18 +47,21 @@ class EndToEndLoop(ParadigmLoop):
         request = DecisionRequest(
             candidates=candidates, difficulty=self.env.task.difficulty
         )
-        decision = agent.planner_llm.decide(request, prompt, purpose="primitive")
-        self.clock.advance(
-            decision.latency, ModuleName.PLANNING, phase="vla_policy", agent=agent.name
+        result = self.scheduler.submit(
+            agent.planner_llm,
+            InferenceRequest(
+                kind="decision",
+                purpose="primitive",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="vla_policy",
+                agent=agent.name,
+                step=step,
+                decision=request,
+            ),
         )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=agent.name,
-            purpose="primitive",
-            prompt_tokens=decision.prompt_tokens,
-            output_tokens=decision.output_tokens,
-        )
-        self.metrics.record_fault(decision.fault)
+        decision = result.decision
+        assert decision is not None
         outcome = agent.act(self.env, decision)
         self.metrics.record_step(
             StepRecord(

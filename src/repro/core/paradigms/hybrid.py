@@ -15,6 +15,7 @@ from repro.core.paradigms.centralized import CentralizedLoop, filter_assigned
 from repro.core.types import Decision
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import OUTPUT_TOKENS
 
 #: Joint-plan quality multiplier after a local feedback round: workers
@@ -75,6 +76,9 @@ class HybridLoop(CentralizedLoop):
         # The centre's refined plan follows immediately; merge its staged
         # feedback before that second call reads anything belief-derived.
         self.flush_deliveries(bundles)
+        # The workers' feedback composes are the phase-concurrent unit:
+        # under batched serving they dispatch here as one batch.
+        self.flush_inference()
         return any_feedback
 
     def _refined_plan(
@@ -97,16 +101,18 @@ class HybridLoop(CentralizedLoop):
         prompt = builder.build()
         output_tokens = OUTPUT_TOKENS["plan"] + 45 * (n_agents - 1)
         llm = self.central.planner_llm
-        latency = llm.profile.call_latency(prompt.tokens, output_tokens)
-        self.clock.advance(
-            latency, ModuleName.PLANNING, phase="refine_plan", agent=self.central.name
-        )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=self.central.name,
-            purpose="plan",
-            prompt_tokens=prompt.tokens,
-            output_tokens=output_tokens,
+        self.scheduler.submit(
+            llm,
+            InferenceRequest(
+                kind="completion",
+                purpose="plan",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="refine_plan",
+                agent=self.central.name,
+                step=step,
+                output_tokens=output_tokens,
+            ),
         )
         decisions: dict[str, Decision] = {}
         blacklist = self.central.state.blacklisted(step)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.clock import ModuleName
 from repro.core.paradigms.base import ParadigmLoop
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 
 
 class ModularLoop(ParadigmLoop):
@@ -36,17 +37,15 @@ class ModularLoop(ParadigmLoop):
             )
             .build()
         )
-        generation = agent.planner_llm.generate(prompt, purpose="action_selection")
-        self.clock.advance(
-            generation.latency,
-            ModuleName.PLANNING,
-            phase="action_selection",
-            agent=agent.name,
-        )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=agent.name,
-            purpose="action_selection",
-            prompt_tokens=generation.prompt_tokens,
-            output_tokens=generation.output_tokens,
+        self.scheduler.submit(
+            agent.planner_llm,
+            InferenceRequest(
+                kind="generation",
+                purpose="action_selection",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="action_selection",
+                agent=agent.name,
+                step=step,
+            ),
         )

@@ -17,6 +17,12 @@ loops instead run the seed's per-delivery fan-out; both pipelines
 produce byte-identical episodes (the golden equivalence suite asserts
 it), so everything downstream of :func:`run_episode` is
 pipeline-agnostic.
+
+Every LLM call inside that pipeline is served by the loop's
+:class:`~repro.llm.scheduler.InferenceScheduler`: per-call dispatch by
+default (byte-identical), or occupancy-aware batches per phase under
+``REPRO_SERVE=batched`` / the Rec. 1 ``batching`` optimization — which
+changes modeled latency only, never task outcomes or token counts.
 """
 
 from __future__ import annotations

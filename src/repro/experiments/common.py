@@ -15,10 +15,10 @@ handful of trials.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from repro.core.config import SystemConfig
+from repro.core.envknobs import int_knob
 from repro.core.executor import EXECUTOR_KINDS, TrialExecutor, TrialJob, get_executor
 from repro.core.metrics import AggregateResult, EpisodeResult, aggregate
 from repro.core.runner import build_task, run_trials, trial_jobs
@@ -27,32 +27,14 @@ DEFAULT_TRIALS = 5
 DEFAULT_WORKERS = 1
 
 
-def _int_env(name: str, default: int, minimum: int = 1) -> int:
-    """Read an integer environment knob, tolerating stray whitespace.
-
-    Empty / unset values fall back to ``default``; non-integers and
-    values below ``minimum`` raise ``ValueError`` naming the variable.
-    """
-    raw = os.environ.get(name, "").strip()
-    if not raw:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
-    if value < minimum:
-        raise ValueError(f"{name} must be >= {minimum}, got {value}")
-    return value
-
-
 def trials_from_env(default: int = DEFAULT_TRIALS) -> int:
     """Trial count override from ``REPRO_TRIALS`` (>=1)."""
-    return _int_env("REPRO_TRIALS", default)
+    return int_knob("REPRO_TRIALS", default)
 
 
 def workers_from_env(default: int = DEFAULT_WORKERS) -> int:
     """Worker count override from ``REPRO_WORKERS`` (>=1; 1 = serial)."""
-    return _int_env("REPRO_WORKERS", default)
+    return int_knob("REPRO_WORKERS", default)
 
 
 def executor_from_env() -> str:

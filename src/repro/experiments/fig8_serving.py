@@ -1,0 +1,176 @@
+"""Figure 8: batched LLM serving across paradigms and team sizes (Rec. 1).
+
+The paper's first recommendation is efficient LLM serving via request
+batching.  With serving factored into a scheduler
+(:mod:`repro.llm.scheduler`), that recommendation becomes measurable as
+a sweep: for each (paradigm, team size) cell, run the same seeded trials
+under per-call and batched serving and compare end-to-end latency, the
+batch occupancy the paradigm's phases expose, and — the layer's
+invariant — task success and token totals, which must not move.
+
+Shapes to expect:
+
+- decentralized (CoELA): per-agent plans, composes, selections, and
+  reflections all batch at the team size — occupancy tracks ``n`` and
+  the latency gap widens with the team;
+- hybrid (HMAS): worker feedback batches, the two central calls cannot —
+  a middling win;
+- centralized (MindAgent): one joint call per step, occupancy pinned at
+  1 — batching buys nothing, which is itself the paper's point that the
+  paradigm already amortizes serving.
+
+The sweep's batched arm uses the config-level Rec. 1 transform
+(:func:`repro.optim.with_batching`), so it measures the same code path
+the ablation experiment and ``REPRO_SERVE=batched`` engage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.report import checkmark, format_series, format_table
+from repro.core.clock import default_to_coarse_for_sweeps
+from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
+from repro.optim import with_batching
+from repro.workloads.registry import get_workload
+
+SUBJECTS = ("mindagent", "coela", "hmas")
+AGENT_COUNTS = (2, 4, 6, 8)
+MODES = ("percall", "batched")
+
+
+@dataclass(frozen=True)
+class ServingCell:
+    """One (workload, team size) comparison of the two serving modes."""
+
+    workload: str
+    paradigm: str
+    n_agents: int
+    percall_minutes: float
+    batched_minutes: float
+    occupancy: float
+    outcomes_invariant: bool
+
+    @property
+    def speedup(self) -> float:
+        if self.batched_minutes <= 0.0:
+            return 1.0
+        return self.percall_minutes / self.batched_minutes
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    cells: list[ServingCell]
+
+    def series(self, workload: str) -> list[ServingCell]:
+        return sorted(
+            (cell for cell in self.cells if cell.workload == workload),
+            key=lambda cell: cell.n_agents,
+        )
+
+
+def run(settings: ExperimentSettings | None = None) -> Fig8Result:
+    settings = settings or ExperimentSettings()
+    cases = [
+        (subject, n_agents)
+        for subject in SUBJECTS
+        for n_agents in AGENT_COUNTS
+    ]
+    grid = []
+    for subject, n_agents in cases:
+        base = get_workload(subject).config
+        for mode in MODES:
+            config = base if mode == "percall" else with_batching(base)
+            grid.append(GridCell(config=config, n_agents=n_agents))
+    aggregates = measure_grid(grid, settings)
+    cells = []
+    for index, (subject, n_agents) in enumerate(cases):
+        percall = aggregates[2 * index]
+        batched = aggregates[2 * index + 1]
+        invariant = (
+            batched.success_rate == percall.success_rate
+            and batched.mean_steps == percall.mean_steps
+            and batched.mean_llm_calls == percall.mean_llm_calls
+            and batched.mean_prompt_tokens == percall.mean_prompt_tokens
+            and batched.mean_messages_sent == percall.mean_messages_sent
+        )
+        cells.append(
+            ServingCell(
+                workload=subject,
+                paradigm=get_workload(subject).config.paradigm,
+                n_agents=n_agents,
+                percall_minutes=percall.mean_sim_minutes,
+                batched_minutes=batched.mean_sim_minutes,
+                occupancy=batched.mean_batch_occupancy,
+                outcomes_invariant=invariant,
+            )
+        )
+    return Fig8Result(cells=cells)
+
+
+def render(result: Fig8Result) -> str:
+    blocks = []
+    rows = []
+    for cell in result.cells:
+        rows.append(
+            (
+                cell.workload,
+                cell.paradigm,
+                cell.n_agents,
+                f"{cell.percall_minutes:.1f}",
+                f"{cell.batched_minutes:.1f}",
+                f"{cell.speedup:.2f}x",
+                f"{cell.occupancy:.2f}",
+                checkmark(cell.outcomes_invariant),
+            )
+        )
+    blocks.append(
+        format_table(
+            (
+                "workload",
+                "paradigm",
+                "agents",
+                "percall (min)",
+                "batched (min)",
+                "speedup",
+                "occupancy",
+                "outcomes ==",
+            ),
+            rows,
+            title="Fig 8: request batching (Rec. 1) vs per-call serving",
+        )
+    )
+    for subject in SUBJECTS:
+        series = result.series(subject)
+        blocks.append(
+            format_series(
+                [cell.n_agents for cell in series],
+                {
+                    "percall": [cell.percall_minutes for cell in series],
+                    "batched": [cell.batched_minutes for cell in series],
+                    "occupancy": [cell.occupancy for cell in series],
+                },
+                title=(
+                    f"Fig 8 ({subject}, {series[0].paradigm}): "
+                    "task latency (min) and batch occupancy vs #agents"
+                ),
+                x_label="agents",
+                precision=1,
+            )
+        )
+    blocks.append(
+        "(batching changes modeled latency only: success/token columns are "
+        "asserted identical per cell; occupancy shows how much phase "
+        "concurrency each paradigm exposes — decentralized tracks the team "
+        "size, centralized is pinned at its single joint call)"
+    )
+    return "\n\n".join(blocks)
+
+
+def main() -> None:
+    default_to_coarse_for_sweeps()
+    print(render(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -28,13 +28,13 @@ docs/performance.md for the full knob table.
 from __future__ import annotations
 
 import argparse
-import os
 import time
 from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.analysis.tables import render_table1, render_table2
 from repro.core.clock import default_to_coarse_for_sweeps
+from repro.core.envknobs import bool_knob
 from repro.experiments import (
     ablations,
     fig2_latency,
@@ -43,6 +43,7 @@ from repro.experiments import (
     fig5_memory,
     fig6_tokens,
     fig7_scalability,
+    fig8_serving,
 )
 from repro.experiments.common import ExperimentSettings
 
@@ -55,6 +56,7 @@ _SECTIONS = (
     ("Figure 5", lambda s: fig5_memory.render(fig5_memory.run(s))),
     ("Figure 6", lambda s: fig6_tokens.render(fig6_tokens.run(s))),
     ("Figure 7", lambda s: fig7_scalability.render(fig7_scalability.run(s))),
+    ("Figure 8", lambda s: fig8_serving.render(fig8_serving.run(s))),
     ("Ablations", lambda s: ablations.render(ablations.run(s))),
 )
 
@@ -99,8 +101,7 @@ def run_all(
 
 def concurrent_sections_from_env() -> bool:
     """Truthiness of ``REPRO_SUITE_CONCURRENT`` (0/false/no/off disable)."""
-    raw = os.environ.get("REPRO_SUITE_CONCURRENT", "").strip().lower()
-    return raw not in ("", "0", "false", "no", "off")
+    return bool_knob("REPRO_SUITE_CONCURRENT", default=False)
 
 
 def main(argv: list[str] | None = None) -> None:

@@ -1,9 +1,17 @@
-"""Simulated LLM substrate: profiles, prompts, behaviour, deployment."""
+"""Simulated LLM substrate: profiles, prompts, behaviour, serving."""
 
+from repro.llm.backend import InferenceBackend
 from repro.llm.behavior import BehaviorKernel, DecisionRequest
 from repro.llm.deployment import DeploymentOptions
 from repro.llm.profiles import LLMProfile, get_profile, list_profiles
 from repro.llm.prompt import Prompt, PromptBuilder
+from repro.llm.requests import InferenceRequest, InferenceResult
+from repro.llm.scheduler import (
+    SERVE_MODES,
+    InferenceScheduler,
+    resolve_serve_mode,
+    serve_mode_from_env,
+)
 from repro.llm.simulated import OUTPUT_TOKENS, GenerationResult, SimulatedLLM
 from repro.llm.tokenizer import count_tokens
 
@@ -12,12 +20,19 @@ __all__ = [
     "DecisionRequest",
     "DeploymentOptions",
     "GenerationResult",
+    "InferenceBackend",
+    "InferenceRequest",
+    "InferenceResult",
+    "InferenceScheduler",
     "LLMProfile",
     "OUTPUT_TOKENS",
     "Prompt",
     "PromptBuilder",
+    "SERVE_MODES",
     "SimulatedLLM",
     "count_tokens",
     "get_profile",
     "list_profiles",
+    "resolve_serve_mode",
+    "serve_mode_from_env",
 ]

@@ -27,11 +27,14 @@ MLC_OVERHEAD_FACTOR = 0.7
 class DeploymentOptions:
     """How a model is served.
 
-    ``batch_size`` > 1 aggregates that many concurrent requests into one
-    call: the fixed overhead is amortized and decode proceeds at a modest
-    per-request slowdown (batched decoding is nearly free until compute
-    bound).  ``quantization`` currently supports ``"awq"``; ``runtime``
-    supports ``"mlc"``.
+    ``batch_size`` caps how many concurrent requests the inference
+    scheduler (:mod:`repro.llm.scheduler`) may aggregate into one call
+    when batched serving is active; the default of 1 means *no
+    configured limit* (the scheduler batches whatever a phase exposes).
+    Batching amortizes the fixed overhead while decode proceeds at a
+    modest per-request slowdown (batched decoding is nearly free until
+    compute bound).  ``quantization`` currently supports ``"awq"``;
+    ``runtime`` supports ``"mlc"``.
     """
 
     batch_size: int = 1
@@ -79,16 +82,21 @@ class DeploymentOptions:
         The batch pays overhead once, prefills all prompts, and decodes for
         as long as the longest output, with a mild per-extra-request decode
         penalty (batched decode keeps the GPU memory-bandwidth bound).
+
+        ``profile`` is used as-is: pass the *effective* profile (a
+        backend's ``profile`` attribute already carries the
+        quantization/runtime transforms — re-applying them here would
+        double-count the speedups).  A batch of one request costs exactly
+        :meth:`~repro.llm.profiles.LLMProfile.call_latency`.
         """
         if len(prompt_tokens_per_request) != len(output_tokens_per_request):
             raise ValueError("prompt/output request lists must align")
         if not prompt_tokens_per_request:
             return 0.0
-        effective = self.effective_profile(profile)
         n_requests = len(prompt_tokens_per_request)
         decode_penalty = 1.0 + 0.08 * (n_requests - 1)
-        prefill = sum(prompt_tokens_per_request) / effective.prefill_tps
+        prefill = sum(prompt_tokens_per_request) / profile.prefill_tps
         decode = (
-            max(output_tokens_per_request) * decode_penalty / effective.decode_tps
+            max(output_tokens_per_request) * decode_penalty / profile.decode_tps
         )
-        return effective.overhead_s + prefill + decode
+        return profile.overhead_s + prefill + decode

@@ -1,0 +1,222 @@
+"""The inference scheduler: one serving layer for every LLM call.
+
+Paper Recommendation 1 frames LLM serving as a system concern: requests
+from many agents should meet a scheduler, not a method call.  This module
+is that scheduler.  Each paradigm loop owns one
+:class:`InferenceScheduler`; every module-to-LLM call site submits a
+typed :class:`~repro.llm.requests.InferenceRequest` and the scheduler
+dispatches it to the issuing agent's
+:class:`~repro.llm.backend.InferenceBackend`, charges the virtual clock,
+and records the token sample — the accounting the modules previously did
+by hand, now in exactly one place.
+
+Two serving modes (``REPRO_SERVE``):
+
+- ``percall`` (default) — dispatch immediately, in submission order,
+  charging each request's own modeled latency at the exact clock position
+  the seed charged it.  Byte-identical to the seed pipeline (golden-suite
+  gated, like ``REPRO_HOTPATH``).
+- ``batched`` — request *content* still resolves at submit time, in
+  submission order (the rng stream, decisions, token counts, faults, and
+  therefore every task outcome are untouched); only the latency charge is
+  deferred.  At each phase boundary the loop flushes, and pending
+  requests that share a serving group — same effective model profile,
+  deployment options, module, phase, and purpose — are dispatched as one
+  occupancy-aware batch priced by
+  :meth:`~repro.llm.deployment.DeploymentOptions.batched_call_latency`:
+  overhead paid once, prompts prefilled together, decode at the longest
+  output with a per-extra-request penalty.  Format retries stay honest:
+  a request that needed ``n`` extra rounds pays them as unbatched
+  straggler re-issues on top of the shared batch latency.  A batch of
+  one charges exactly the per-call latency, so a phase that exposes no
+  concurrency serves like ``percall`` (episode latency totals can still
+  differ in the last ulp: deferred charges accumulate on the clock in
+  flush order, which changes the float summation order).
+
+Mode precedence: a config with ``optimizations.batching`` set (the Rec. 1
+transform) always serves batched; otherwise ``REPRO_SERVE`` decides
+(default ``percall``).  API-profile groups batch too — that models the
+provider's server-side continuous batching, which is exactly how
+concurrent requests from one team would land on a real endpoint.
+
+What batching may and may not change is the layer's contract: success,
+steps, token counts, message metrics, and fault counts are invariant
+across modes (asserted by the golden serving tests and
+``benchmarks/bench_serving.py``); only modeled latency — and with it the
+latency figures — moves.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.core.envknobs import choice_knob
+from repro.llm.backend import InferenceBackend
+from repro.llm.requests import InferenceRequest, InferenceResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.clock import SimClock
+    from repro.core.config import SystemConfig
+    from repro.core.metrics import MetricsCollector
+
+#: Serving modes selectable via config / ``REPRO_SERVE``.
+SERVE_MODES = ("percall", "batched")
+
+
+def serve_mode_from_env() -> str:
+    """Serving mode from ``REPRO_SERVE`` (default ``percall``)."""
+    return choice_knob("REPRO_SERVE", default="percall", choices=SERVE_MODES)
+
+
+def resolve_serve_mode(config: "SystemConfig") -> str:
+    """The serving mode an episode of ``config`` runs under.
+
+    The config's Rec. 1 ``batching`` flag wins (it is the per-system
+    opt-in the ablation experiments toggle); otherwise the process-wide
+    ``REPRO_SERVE`` default applies.
+    """
+    if config.optimizations.batching:
+        return "batched"
+    return serve_mode_from_env()
+
+
+class _Pending(NamedTuple):
+    """One submitted-but-uncharged request (batched mode)."""
+
+    backend: InferenceBackend
+    request: InferenceRequest
+    result: InferenceResult
+
+
+class InferenceScheduler:
+    """Collects a phase's inference requests and dispatches them.
+
+    One instance per episode, shared by every agent's module stack, so
+    phase-concurrent requests from different agents meet in one place —
+    the property batching needs.  The paradigm loops flush at their
+    phase boundaries (dialogue rounds, planning, the end of each step),
+    mirroring the :class:`~repro.core.bus.DeliveryBus` flush discipline.
+    """
+
+    def __init__(
+        self,
+        clock: "SimClock",
+        metrics: "MetricsCollector",
+        mode: str | None = None,
+    ) -> None:
+        resolved = mode if mode is not None else serve_mode_from_env()
+        if resolved not in SERVE_MODES:
+            raise ValueError(f"mode must be one of {SERVE_MODES}, got {resolved!r}")
+        self.mode = resolved
+        self._clock = clock
+        self._metrics = metrics
+        self._pending: list[_Pending] = []
+        #: Lifetime requests handled — an engagement counter for tests
+        #: and diagnostics, never read by the pipeline.
+        self.dispatched = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests submitted and not yet charged (batched mode only)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, backend: InferenceBackend, request: InferenceRequest
+    ) -> InferenceResult:
+        """Serve one request through the active mode.
+
+        Content always resolves now (the backend executes in submission
+        order, keeping the rng stream seed-identical); per-call mode also
+        charges the clock now, batched mode defers the charge to the next
+        :meth:`flush` — except for requests marked ``sequential``, whose
+        issuance depended on an earlier result and which therefore charge
+        per-call in every mode.  Metric recording is mode-independent:
+        the token sample and (for decisions) the fault count land
+        immediately, in the seed's order.
+        """
+        result = backend.execute(request)
+        self.dispatched += 1
+        if self.mode == "batched" and not request.sequential:
+            self._pending.append(_Pending(backend, request, result))
+        else:
+            self._charge(request, result.latency)
+        self._metrics.record_llm_call(
+            step=request.step,
+            agent=request.agent,
+            purpose=request.purpose,
+            prompt_tokens=result.prompt_tokens,
+            output_tokens=result.output_tokens,
+        )
+        if result.decision is not None:
+            self._metrics.record_fault(result.decision.fault)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Batched dispatch
+    # ------------------------------------------------------------------ #
+
+    def flush(self) -> None:
+        """Dispatch pending requests as occupancy-aware batches.
+
+        Pending requests are grouped by serving group — (effective
+        profile, deployment options, module, phase, purpose), the
+        profile compared by value so same-named profiles with different
+        latency parameters never share a batch — in first-submission
+        order; each group becomes one batch (split when the deployment
+        caps ``batch_size``).  Multi-request batches charge the shared
+        batch latency once (attributed to the pseudo-agent ``"batch"``,
+        as the seed's batched planner did) plus each request's retry
+        rounds; singleton batches charge exactly like per-call mode.
+        No-op in per-call mode, which never has pending requests.
+        """
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        groups: dict[tuple, list[_Pending]] = {}
+        for item in pending:
+            backend, request = item.backend, item.request
+            key = (
+                backend.profile,
+                backend.deployment,
+                request.module,
+                request.phase,
+                request.purpose,
+            )
+            groups.setdefault(key, []).append(item)
+        for items in groups.values():
+            cap = items[0].backend.deployment.batch_size
+            size = cap if cap > 1 else len(items)
+            for start in range(0, len(items), size):
+                self._dispatch_batch(items[start : start + size])
+
+    def _dispatch_batch(self, items: list[_Pending]) -> None:
+        if len(items) == 1:
+            backend, request, result = items[0]
+            self._charge(request, result.latency)
+            self._metrics.record_batch(1)
+            return
+        backend = items[0].backend
+        first = items[0].request
+        batch_latency = backend.deployment.batched_call_latency(
+            backend.profile,
+            [item.result.prompt_tokens for item in items],
+            [item.result.output_tokens for item in items],
+        )
+        self._clock.advance(batch_latency, first.module, phase=first.phase, agent="batch")
+        for item_backend, request, result in items:
+            if result.rounds > 1:
+                # Stragglers: each retry re-issues the request alone.
+                per_call = item_backend.profile.call_latency(
+                    result.prompt_tokens, result.output_tokens
+                )
+                self._charge(request, (result.rounds - 1) * per_call)
+        self._metrics.record_batch(len(items))
+
+    def _charge(self, request: InferenceRequest, seconds: float) -> None:
+        self._clock.advance(
+            seconds, request.module, phase=request.phase, agent=request.agent
+        )

@@ -1,9 +1,13 @@
 """The simulated LLM engine: behaviour kernel + latency model.
 
 ``SimulatedLLM`` is the drop-in substitute for "a GPT-4 API call" or "local
-Llama inference" everywhere in the stack.  It is *pure* with respect to
-time: calls return their modeled latency and the caller (a module) advances
-the episode's virtual clock, which keeps the engine trivially unit-testable.
+Llama inference" everywhere in the stack, and the reference implementation
+of the :class:`~repro.llm.backend.InferenceBackend` protocol: the
+:meth:`SimulatedLLM.execute` entry point serves the typed request
+envelopes of :mod:`repro.llm.requests` for the scheduler.  It is *pure*
+with respect to time: calls return their modeled latency and the
+scheduler advances the episode's virtual clock, which keeps the engine
+trivially unit-testable.
 """
 
 from __future__ import annotations
@@ -17,6 +21,7 @@ from repro.llm.behavior import BehaviorKernel, DecisionRequest
 from repro.llm.deployment import DeploymentOptions
 from repro.llm.profiles import LLMProfile, get_profile
 from repro.llm.prompt import Prompt
+from repro.llm.requests import InferenceRequest, InferenceResult
 
 #: Typical generation lengths (tokens) per call purpose, matching the mix
 #: of calls the paper attributes to each module (plans are long, action
@@ -140,44 +145,53 @@ class SimulatedLLM:
             verdict = self._rng.random() < false_positive_rate
         return verdict, result
 
-    def batched_decide(
-        self,
-        requests: list[DecisionRequest],
-        prompts: list[Prompt],
-        purpose: str = "plan",
-    ) -> list[Decision]:
-        """Serve several decision requests as one batch (Recommendation 1).
+    # ------------------------------------------------------------------ #
+    # Backend protocol (repro.llm.backend.InferenceBackend)
+    # ------------------------------------------------------------------ #
 
-        The shared batch latency is attributed to every returned decision
-        (they complete together); quality is computed per request exactly
-        as in the unbatched path.
+    def execute(self, request: InferenceRequest) -> InferenceResult:
+        """Serve one typed request envelope (the scheduler's entry point).
+
+        Content (decision, verdict, token counts) is resolved now, in
+        request order, so the rng stream is independent of how the
+        scheduler later charges latency; ``completion`` requests model
+        only the call's cost — their content is the caller's to sample —
+        and, matching the seed's joint-plan cost model, do not touch the
+        per-engine accounting counters.
         """
-        if len(requests) != len(prompts):
-            raise ValueError("requests and prompts must align")
-        if not requests:
-            return []
-        output_tokens = OUTPUT_TOKENS.get(purpose, OUTPUT_TOKENS["plan"])
-        prompt_token_list = [prompt.tokens for prompt in prompts]
-        latency = self.deployment.batched_call_latency(
-            self.profile,
-            prompt_token_list,
-            [output_tokens] * len(requests),
-        )
-        decisions = []
-        for request, prompt_tokens in zip(requests, prompt_token_list):
-            outcome = self.kernel.decide(request, prompt_tokens, self._rng)
-            self._account(prompt_tokens, output_tokens, 1)
-            decisions.append(
-                Decision(
-                    subgoal=outcome.candidate.subgoal,
-                    fault=outcome.fault,
-                    prompt_tokens=prompt_tokens,
-                    output_tokens=output_tokens,
-                    latency=latency,
-                    retries=outcome.retries,
-                )
+        if request.kind == "decision":
+            assert request.decision is not None  # __post_init__ guarantees
+            decision = self.decide(request.decision, request.prompt, request.purpose)
+            return InferenceResult(
+                prompt_tokens=decision.prompt_tokens,
+                output_tokens=decision.output_tokens,
+                latency=decision.latency,
+                rounds=1 + decision.retries,
+                decision=decision,
             )
-        return decisions
+        if request.kind == "generation":
+            generated = self.generate(request.prompt, purpose=request.purpose)
+            return InferenceResult(
+                prompt_tokens=generated.prompt_tokens,
+                output_tokens=generated.output_tokens,
+                latency=generated.latency,
+            )
+        if request.kind == "judgement":
+            verdict, generated = self.judge(request.prompt, request.true_outcome)
+            return InferenceResult(
+                prompt_tokens=generated.prompt_tokens,
+                output_tokens=generated.output_tokens,
+                latency=generated.latency,
+                verdict=verdict,
+            )
+        # "completion": latency/token model only (validated by the request).
+        assert request.output_tokens is not None
+        prompt_tokens = request.prompt.tokens
+        return InferenceResult(
+            prompt_tokens=prompt_tokens,
+            output_tokens=request.output_tokens,
+            latency=self.profile.call_latency(prompt_tokens, request.output_tokens),
+        )
 
     def _account(self, prompt_tokens: int, output_tokens: int, calls: int) -> None:
         self.calls += calls

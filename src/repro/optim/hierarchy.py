@@ -18,6 +18,7 @@ from repro.core.paradigms.centralized import filter_assigned
 from repro.core.types import Decision, StepRecord
 from repro.llm.behavior import DecisionRequest
 from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
 from repro.llm.simulated import OUTPUT_TOKENS
 
 
@@ -49,6 +50,9 @@ class HierarchicalLoop(ParadigmLoop):
         decisions: dict[str, Decision] = {}
         for cluster in self.clusters:
             decisions.update(self._cluster_plan(step, cluster, bundles))
+        # Cluster plans are issued independently per lead: under batched
+        # serving they dispatch here as one batch across clusters.
+        self.flush_inference()
         for agent in self.agents:
             decision = decisions[agent.name]
             if agent is self._lead_of(agent):
@@ -109,6 +113,8 @@ class HierarchicalLoop(ParadigmLoop):
             self.deliver_message(message, bundles)
         # Cluster planning reads the leads' merged beliefs next.
         self.flush_deliveries(bundles)
+        # The leads' round of composes is the phase-concurrent unit.
+        self.flush_inference()
 
     # ------------------------------------------------------------------ #
     # Within-cluster joint planning
@@ -143,16 +149,18 @@ class HierarchicalLoop(ParadigmLoop):
             builder.static_extra("agent_header", f"Options above are for {name}.")
         prompt = builder.build()
         output_tokens = OUTPUT_TOKENS["plan"] + 45 * (len(cluster) - 1)
-        latency = lead.planner_llm.profile.call_latency(prompt.tokens, output_tokens)
-        self.clock.advance(
-            latency, ModuleName.PLANNING, phase="cluster_plan", agent=lead.name
-        )
-        self.metrics.record_llm_call(
-            step=step,
-            agent=lead.name,
-            purpose="plan",
-            prompt_tokens=prompt.tokens,
-            output_tokens=output_tokens,
+        self.scheduler.submit(
+            lead.planner_llm,
+            InferenceRequest(
+                kind="completion",
+                purpose="plan",
+                prompt=prompt,
+                module=ModuleName.PLANNING,
+                phase="cluster_plan",
+                agent=lead.name,
+                step=step,
+                output_tokens=output_tokens,
+            ),
         )
         decisions: dict[str, Decision] = {}
         blacklist = lead.state.blacklisted(step)

@@ -132,6 +132,68 @@ class TestGridEquivalence:
         # Multi-receiver staging: strictly more deliveries than messages.
         assert loop.bus.staged_deliveries > loop.metrics.messages_sent > 0
 
+    def test_inference_scheduler_actually_engages(self):
+        """Guard against call sites silently bypassing the serving layer.
+
+        Every LLM call must route through the loop's scheduler: the
+        engagement counter equals the episode's recorded call count
+        (nothing records a token sample without a submit), on both the
+        hot path and the reference path.
+        """
+        from repro.core.runner import build_loop, build_task
+
+        cell = GRID[4]  # coela: plans + composes + reflections + selections
+        task = build_task(cell.config, n_agents=cell.n_agents, seed=0)
+        for fast in (True, False):
+            with hotpath.override(fast):
+                loop = build_loop(cell.config, task, seed=0)
+                result = loop.run()
+            assert loop.scheduler.mode == "percall"
+            assert loop.scheduler.pending == 0
+            assert loop.scheduler.dispatched == result.llm_calls > 0
+
+    def test_batched_serving_changes_latency_never_outcomes(self):
+        """``REPRO_SERVE=batched`` across the golden grid: task outcomes,
+        token counts, and message metrics are invariant; modeled latency
+        drops wherever a paradigm exposes phase concurrency."""
+        import os
+
+        with hotpath.override(True):
+            percall = measure_grid(GRID, SETTINGS)
+        previous = os.environ.get("REPRO_SERVE")
+        os.environ["REPRO_SERVE"] = "batched"
+        try:
+            with hotpath.override(True):
+                batched = measure_grid(GRID, SETTINGS)
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SERVE", None)
+            else:
+                os.environ["REPRO_SERVE"] = previous
+        saw_speedup = False
+        for reference, served in zip(percall, batched):
+            assert served.success_rate == reference.success_rate
+            assert served.mean_steps == reference.mean_steps
+            assert served.mean_llm_calls == reference.mean_llm_calls
+            assert served.mean_prompt_tokens == reference.mean_prompt_tokens
+            assert served.mean_messages_sent == reference.mean_messages_sent
+            assert served.message_usefulness == reference.message_usefulness
+            assert served.mean_goal_progress == reference.mean_goal_progress
+            # Latency may only move down; all-singleton cells agree to
+            # rounding (deferred charges accumulate in flush order, so
+            # the float summation order differs in the last ulp).
+            assert (
+                served.mean_sim_minutes < reference.mean_sim_minutes
+                or served.mean_sim_minutes
+                == pytest.approx(reference.mean_sim_minutes, rel=1e-9)
+            )
+            assert served.mean_batch_occupancy >= 1.0
+            if served.mean_sim_minutes < reference.mean_sim_minutes * (1 - 1e-9):
+                saw_speedup = True
+                assert served.mean_batch_occupancy > 1.0
+        # The grid's dialogue-heavy decentralized cells must benefit.
+        assert saw_speedup
+
     def test_parallel_workers_match_optimized_serial(self):
         """REPRO_WORKERS=2 on the reference path == optimized serial.
 

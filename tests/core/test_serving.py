@@ -1,0 +1,96 @@
+"""Episode-level tests of the batched serving mode (Rec. 1).
+
+The scheduler unit tests (``tests/llm/test_scheduler.py``) pin the batch
+pricing; these tests drive whole episodes through the paradigm loops and
+assert the serving layer's system-level contract: batching is invisible
+to task outcomes, visible in modeled latency, and exposes the occupancy
+structure each paradigm's phases actually have.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import build_loop, build_task, run_episode
+from repro.optim import with_batching, with_hierarchy
+from repro.workloads.registry import get_workload
+
+OUTCOME_FIELDS = (
+    "success",
+    "steps",
+    "llm_calls",
+    "prompt_tokens",
+    "output_tokens",
+    "messages_sent",
+    "messages_useful",
+    "faults",
+    "reflections_triggered",
+    "replans",
+)
+
+
+def outcomes(result) -> tuple:
+    return tuple(getattr(result, field) for field in OUTCOME_FIELDS)
+
+
+class TestBatchedEpisodes:
+    def test_decentralized_team_batches_per_agent_calls(self):
+        base = get_workload("coela").config.with_agents(4)
+        percall = run_episode(base, seed=2)
+        batched = run_episode(with_batching(base), seed=2)
+        assert outcomes(batched) == outcomes(percall)
+        assert batched.sim_seconds < percall.sim_seconds
+        # Plans, composes, selections, and reflections all expose the
+        # full team per phase; singleton groups (replans) dilute the
+        # mean below 4 but concurrency must dominate.
+        assert batched.mean_batch_occupancy > 2.0
+        assert batched.serve_batches > 0
+        # Per-step records (subgoals chosen, execution outcomes) agree.
+        assert [
+            (record.step, record.agent, record.subgoal)
+            for record in batched.records
+        ] == [
+            (record.step, record.agent, record.subgoal)
+            for record in percall.records
+        ]
+
+    def test_centralized_has_no_concurrency_to_batch(self):
+        """One joint call per step: batching is a latency no-op (to
+        rounding — deferred charges re-order the float accumulation)."""
+        base = get_workload("mindagent").config.with_agents(6)
+        percall = run_episode(base, seed=2)
+        batched = run_episode(with_batching(base), seed=2)
+        assert outcomes(batched) == outcomes(percall)
+        assert batched.sim_seconds == pytest.approx(percall.sim_seconds, rel=1e-9)
+
+    def test_hierarchy_batches_across_cluster_leads(self):
+        base = with_hierarchy(get_workload("mindagent").config.with_agents(6), 3)
+        percall = run_episode(base, seed=0)
+        batched = run_episode(with_batching(base), seed=0)
+        assert outcomes(batched) == outcomes(percall)
+        # Two cluster leads plan concurrently each step.
+        assert batched.mean_batch_occupancy > 1.0
+        assert batched.sim_seconds < percall.sim_seconds
+
+    def test_single_agent_occupancy_is_one(self):
+        base = get_workload("jarvis-1").config
+        batched = run_episode(with_batching(base), seed=1)
+        percall = run_episode(base, seed=1)
+        assert outcomes(batched) == outcomes(percall)
+        assert batched.mean_batch_occupancy == 1.0
+        assert batched.sim_seconds == pytest.approx(percall.sim_seconds, rel=1e-9)
+
+    def test_loop_finishes_with_nothing_pending(self):
+        config = with_batching(get_workload("coela").config.with_agents(4))
+        task = build_task(config, seed=3)
+        loop = build_loop(config, task, seed=3)
+        result = loop.run()
+        assert loop.scheduler.mode == "batched"
+        assert loop.scheduler.pending == 0
+        assert loop.scheduler.dispatched == result.llm_calls > 0
+        assert result.serve_batched_requests == result.llm_calls
+
+    def test_percall_reports_no_batches(self):
+        result = run_episode(get_workload("coela").config.with_agents(4), seed=2)
+        assert result.serve_batches == 0
+        assert result.mean_batch_occupancy == 0.0

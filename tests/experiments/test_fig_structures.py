@@ -1,4 +1,4 @@
-"""Structural tests for the remaining figure harnesses (2, 4, 5, 7).
+"""Structural tests for the remaining figure harnesses (2, 4, 5, 7, 8).
 
 Each runs with 1 trial and, where the sweep is wide, a reduced grid via
 monkeypatching the module-level sweep constants.
@@ -12,6 +12,7 @@ from repro.experiments import (
     fig4_local_models,
     fig5_memory,
     fig7_scalability,
+    fig8_serving,
 )
 from repro.experiments.common import ExperimentSettings
 
@@ -101,6 +102,43 @@ class TestFig7:
     def test_llm_calls_recorded(self, result):
         for cell in result.cells:
             assert cell.llm_calls > 0
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        import repro.experiments.fig8_serving as module
+
+        original_counts = module.AGENT_COUNTS
+        module.AGENT_COUNTS = (2, 4)
+        try:
+            return module.run(FAST)
+        finally:
+            module.AGENT_COUNTS = original_counts
+
+    def test_cells_for_each_subject(self, result):
+        for subject in fig8_serving.SUBJECTS:
+            series = result.series(subject)
+            assert [cell.n_agents for cell in series] == [2, 4]
+
+    def test_outcomes_invariant_everywhere(self, result):
+        """The serving layer's contract, asserted per sweep cell."""
+        for cell in result.cells:
+            assert cell.outcomes_invariant
+
+    def test_batched_never_slower(self, result):
+        for cell in result.cells:
+            assert cell.batched_minutes <= cell.percall_minutes * (1 + 1e-9)
+            assert cell.occupancy >= 1.0
+
+    def test_decentralized_occupancy_tracks_team(self, result):
+        for cell in result.series("coela"):
+            assert cell.occupancy == pytest.approx(cell.n_agents, abs=0.5)
+
+    def test_render_mentions_every_subject(self, result):
+        text = fig8_serving.render(result)
+        for subject in fig8_serving.SUBJECTS:
+            assert subject in text
 
 
 class TestAblationsStructure:

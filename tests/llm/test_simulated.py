@@ -87,30 +87,86 @@ class TestJudge:
         assert result.output_tokens == OUTPUT_TOKENS["reflection"]
 
 
-class TestBatchedDecide:
-    def test_batch_shares_latency(self):
-        llm = make_llm("llava-7b")
-        requests = [simple_request() for _ in range(4)]
-        prompts = [simple_prompt() for _ in range(4)]
-        decisions = llm.batched_decide(requests, prompts)
-        assert len(decisions) == 4
-        assert len({d.latency for d in decisions}) == 1
+class TestExecute:
+    """SimulatedLLM as the reference InferenceBackend implementation."""
 
-    def test_batch_cheaper_than_serial(self):
-        llm = make_llm("llava-7b")
-        prompts = [simple_prompt() for _ in range(4)]
-        requests = [simple_request() for _ in range(4)]
-        batch_latency = llm.batched_decide(requests, prompts)[0].latency
-        serial = 4 * llm.profile.call_latency(prompts[0].tokens, OUTPUT_TOKENS["plan"])
-        assert batch_latency < serial
+    def request(self, kind, **overrides):
+        from repro.core.clock import ModuleName
+        from repro.llm.requests import InferenceRequest
 
-    def test_empty_batch(self):
-        assert make_llm().batched_decide([], []) == []
+        fields = dict(
+            kind=kind,
+            purpose="plan",
+            prompt=simple_prompt(),
+            module=ModuleName.PLANNING,
+            phase="plan",
+            agent="agent_0",
+            step=1,
+        )
+        fields.update(overrides)
+        return InferenceRequest(**fields)
 
-    def test_mismatched_lengths_rejected(self):
+    def test_satisfies_backend_protocol(self):
+        from repro.llm.backend import InferenceBackend
+
+        assert isinstance(make_llm(), InferenceBackend)
+
+    def test_decision_request_matches_direct_decide(self):
+        direct = make_llm(seed=3).decide(simple_request(), simple_prompt())
+        result = make_llm(seed=3).execute(
+            self.request("decision", decision=simple_request())
+        )
+        assert result.decision == direct
+        assert result.latency == direct.latency
+        assert result.rounds == 1 + direct.retries
+
+    def test_generation_request_matches_direct_generate(self):
+        direct = make_llm(seed=3).generate(simple_prompt(), purpose="message")
+        result = make_llm(seed=3).execute(self.request("generation", purpose="message"))
+        assert (result.prompt_tokens, result.output_tokens, result.latency) == (
+            direct.prompt_tokens,
+            direct.output_tokens,
+            direct.latency,
+        )
+        assert result.decision is None and result.verdict is None
+
+    def test_judgement_request_matches_direct_judge(self):
+        verdict, direct = make_llm(seed=3).judge(simple_prompt(), True)
+        result = make_llm(seed=3).execute(
+            self.request("judgement", purpose="reflection", true_outcome=True)
+        )
+        assert result.verdict == verdict
+        assert result.latency == direct.latency
+
+    def test_completion_costs_call_latency_without_accounting(self):
         llm = make_llm()
+        prompt = simple_prompt()
+        result = llm.execute(
+            self.request("completion", prompt=prompt, output_tokens=220)
+        )
+        assert result.latency == pytest.approx(llm.profile.call_latency(prompt.tokens, 220))
+        assert result.output_tokens == 220
+        # Completion calls model cost only: the seed's joint plans never
+        # touched the per-engine counters, and neither does this path.
+        assert llm.calls == 0 and llm.total_prompt_tokens == 0
+
+    def test_decision_request_requires_candidates(self):
+        from repro.llm.requests import InferenceRequest
+
         with pytest.raises(ValueError):
-            llm.batched_decide([simple_request()], [])
+            self.request("decision")
+        with pytest.raises(ValueError):
+            self.request("completion")
+        with pytest.raises(ValueError):
+            InferenceRequest(
+                kind="mystery",
+                purpose="plan",
+                prompt=simple_prompt(),
+                module=None,
+                phase="plan",
+                agent="a",
+                step=0,
+            )
 
 
 class TestDeterminism:
