@@ -42,8 +42,10 @@ lint:
 	ruff check .
 	ruff format --check .
 
-# Markdown link check over README.md/docs/, REPRO_* knob coverage, and
-# doctests on every module that carries them.
+# Markdown link check over README.md/docs/, REPRO_* knob coverage (the
+# serving guide must cover the serving knobs), and doctests — both on
+# every module that carries them and on the >>> examples embedded in
+# the markdown docs themselves.
 docs-check:
 	$(PYTHON) scripts/check_docs.py
 

@@ -1,6 +1,7 @@
 """Documentation checks: links, knob coverage, and doctests.
 
-Run as ``make docs-check`` (CI's ``docs`` job).  Three offline checks:
+Run as ``make docs-check`` (CI's ``docs`` and ``serving-docs`` jobs).
+Four offline checks:
 
 1. **Markdown links** — every relative link in ``README.md`` and
    ``docs/*.md`` must point at an existing file, and every in-document
@@ -10,10 +11,16 @@ Run as ``make docs-check`` (CI's ``docs`` job).  Three offline checks:
 2. **Knob coverage** — every ``REPRO_*`` environment knob referenced in
    ``src/`` or ``benchmarks/`` must be documented in
    ``docs/performance.md`` (the acceptance bar: docs cover every knob
-   that exists in the source).
-3. **Doctests** — ``doctest.testmod`` over every ``src/repro`` module
-   whose source contains a ``>>>`` prompt, so examples in docstrings
-   cannot rot silently.
+   that exists in the source), and every *serving-layer* knob
+   (``REPRO_SERVE*``, ``REPRO_OVERLAP``, ``REPRO_HTTP_*``) must also
+   appear in ``docs/serving.md`` — the serving guide may not drift
+   behind the scheduler and HTTP backend it documents.
+3. **Module doctests** — ``doctest.testmod`` over every ``src/repro``
+   module whose source contains a ``>>>`` prompt, so examples in
+   docstrings cannot rot silently.
+4. **Markdown doctests** — the ``>>>`` examples embedded in
+   ``README.md``/``docs/*.md`` run through ``doctest`` too (per file,
+   shared globals top to bottom), so guide examples stay executable.
 
 Exits non-zero with a list of problems; prints a one-line summary when
 clean.
@@ -30,6 +37,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 DOC_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 KNOB_DOC = REPO / "docs" / "performance.md"
+SERVING_DOC = REPO / "docs" / "serving.md"
+
+#: Knob prefixes the serving guide must cover in addition to the master
+#: table in performance.md.
+SERVING_KNOB_PREFIXES = ("REPRO_SERVE", "REPRO_HTTP", "REPRO_OVERLAP")
 
 LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
@@ -77,12 +89,21 @@ def check_knob_coverage() -> list[str]:
     for root in (REPO / "src", REPO / "benchmarks"):
         for path in root.rglob("*.py"):
             in_source.update(KNOB.findall(path.read_text()))
+    problems = []
     documented = set(KNOB.findall(KNOB_DOC.read_text()))
-    missing = sorted(in_source - documented)
-    return [
+    problems.extend(
         f"docs/performance.md: undocumented knob {knob} (referenced in source)"
-        for knob in missing
-    ]
+        for knob in sorted(in_source - documented)
+    )
+    serving_knobs = {
+        knob for knob in in_source if knob.startswith(SERVING_KNOB_PREFIXES)
+    }
+    in_guide = set(KNOB.findall(SERVING_DOC.read_text()))
+    problems.extend(
+        f"docs/serving.md: serving knob {knob} missing from the serving guide"
+        for knob in sorted(serving_knobs - in_guide)
+    )
+    return problems
 
 
 def check_doctests() -> list[str]:
@@ -102,8 +123,38 @@ def check_doctests() -> list[str]:
     return problems
 
 
+def check_markdown_doctests() -> list[str]:
+    """Run the ``>>>`` examples embedded in the markdown docs.
+
+    Each file is one doctest: examples share globals top to bottom, so a
+    guide can import once and build on earlier results.  Failures print
+    doctest's usual expected/got report before the summary line.
+    """
+    problems = []
+    sys.path.insert(0, str(REPO / "src"))
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner()
+    for doc in DOC_FILES:
+        text = doc.read_text()
+        if ">>> " not in text:
+            continue
+        name = str(doc.relative_to(REPO))
+        test = parser.get_doctest(text, {}, name, name, 0)
+        result = runner.run(test, clear_globs=True)
+        if result.failed:
+            problems.append(f"{name}: {result.failed} doctest failure(s)")
+        elif result.attempted == 0:
+            problems.append(f"{name}: contains '>>>' but no runnable doctest")
+    return problems
+
+
 def main() -> int:
-    problems = check_links() + check_knob_coverage() + check_doctests()
+    problems = (
+        check_links()
+        + check_knob_coverage()
+        + check_doctests()
+        + check_markdown_doctests()
+    )
     if problems:
         print("docs-check failed:")
         for problem in problems:
@@ -112,7 +163,8 @@ def main() -> int:
     n_links = sum(len(LINK.findall(doc.read_text())) for doc in DOC_FILES)
     print(
         f"docs-check ok: {len(DOC_FILES)} files, {n_links} links, "
-        "all source knobs documented, doctests green"
+        "all source knobs documented (serving guide covered), "
+        "module and markdown doctests green"
     )
     return 0
 

@@ -300,9 +300,75 @@ class SimClock:
             raise ValueError(f"duration must be non-negative, got {duration}")
         self.now += duration
 
+    def settle(
+        self,
+        completion: float,
+        duration: float,
+        module: ModuleName,
+        phase: str = "",
+        agent: str = "",
+    ) -> Span | None:
+        """Attribute ``duration`` to a span *ending* at absolute virtual
+        time ``completion``, moving the clock forward to ``completion``
+        only if it lies in the future.
+
+        This is the charge primitive of the continuous-batching serving
+        engine (:mod:`repro.llm.scheduler`): per-request completions are
+        computed on the absolute timeline from their arrival times, so a
+        request may finish before ``now`` (its service overlapped work
+        already charged — zero wall-clock impact) or after it (the queue
+        stretched the step).  ``elapsed_by_module`` /
+        ``elapsed_by_phase`` still sum the full attributed duration —
+        queueing delay included — exactly like :meth:`advance` spans.
+        The recorded span starts at ``completion - duration``, which may
+        precede earlier spans; consumers sum durations, never assume
+        monotone starts.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if self._coarse:
+            span = None
+            totals = self._module_seconds
+            totals[module] = totals.get(module, 0.0) + duration
+            phases = self._phase_seconds
+            key = (module, phase)
+            phases[key] = phases.get(key, 0.0) + duration
+        else:
+            span = Span(
+                module=module,
+                phase=phase,
+                start=completion - duration,
+                duration=duration,
+                agent=agent,
+            )
+            self.spans.append(span)
+        if self._parallel_depth > 0:
+            self._parallel_front = max(self._parallel_front, completion)
+        else:
+            self.now = max(self.now, completion)
+        if _HOST_PROFILER is not None:
+            _HOST_PROFILER.mark(module.value, phase)
+        return span
+
     def parallel(self) -> "_ParallelScope":
         """Context manager grouping concurrent advances (max, not sum)."""
         return _ParallelScope(self)
+
+    def overlapped(self, anchor: float) -> "_OverlapScope":
+        """Concurrent advances backdated to start at ``anchor <= now``.
+
+        The perception–generation overlap model (``REPRO_OVERLAP``):
+        sensing for step ``t+1`` physically starts while generation for
+        step ``t`` is still decoding, i.e. at ``anchor`` — the clock
+        position where the previous serving flush began charging — not
+        at ``now``.  Inside the scope, advances behave like
+        :meth:`parallel` but are measured from ``anchor``; on exit the
+        clock lands at ``max(now_at_entry, anchor + longest_advance)``,
+        so perception that fits inside the generation tail costs no
+        wall-clock at all while its spans keep their full per-module
+        attribution.
+        """
+        return _OverlapScope(self, anchor)
 
     def elapsed_by_module(self) -> dict[ModuleName, float]:
         """Total attributed duration per module (sums even parallel spans)."""
@@ -348,3 +414,31 @@ class _ParallelScope:
         clock._parallel_depth -= 1
         if clock._parallel_depth == 0:
             clock.now = max(clock.now, clock._parallel_front)
+
+
+class _OverlapScope:
+    """Implements :meth:`SimClock.overlapped`: a parallel group whose
+    start is backdated to an earlier clock position (never nested)."""
+
+    def __init__(self, clock: SimClock, anchor: float) -> None:
+        if clock._parallel_depth > 0:
+            raise ValueError("overlapped() scopes cannot nest inside parallel()")
+        self._clock = clock
+        self._anchor = anchor
+        self._resume = 0.0
+
+    def __enter__(self) -> SimClock:
+        clock = self._clock
+        self._resume = clock.now
+        # Advances inside measure from the (earlier) anchor; a stale
+        # anchor from long ago never rewinds past what makes sense —
+        # it is clamped to the current clock position.
+        clock.now = min(clock.now, max(0.0, self._anchor))
+        clock._parallel_front = clock.now
+        clock._parallel_depth = 1
+        return clock
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        clock = self._clock
+        clock._parallel_depth = 0
+        clock.now = max(self._resume, clock._parallel_front)

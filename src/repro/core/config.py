@@ -55,6 +55,10 @@ class OptimizationConfig:
       across clusters.
     - ``batching``: aggregate per-agent LLM requests into one batch (Rec. 1).
     - ``quantization`` / ``runtime``: local-model serving options (Rec. 1).
+    - ``serve_mode``: pin this system to one inference-serving mode
+      (``percall`` / ``batched`` / ``continuous``); empty defers to the
+      ``batching`` flag and the process-wide ``REPRO_SERVE`` knob.  The
+      per-cell control the serving grids use to mix modes in one run.
     """
 
     multistep_horizon: int = 1
@@ -64,6 +68,7 @@ class OptimizationConfig:
     batching: bool = False
     quantization: str = ""
     runtime: str = ""
+    serve_mode: str = ""
 
     def __post_init__(self) -> None:
         if self.multistep_horizon < 1:
@@ -73,6 +78,13 @@ class OptimizationConfig:
         if self.hierarchy_cluster_size < 0:
             raise ValueError(
                 f"hierarchy_cluster_size must be >= 0: {self.hierarchy_cluster_size}"
+            )
+        # Values mirror ``repro.llm.scheduler.SERVE_MODES`` (kept inline
+        # to avoid a config -> llm import cycle; pinned by a test).
+        if self.serve_mode not in ("", "percall", "batched", "continuous"):
+            raise ValueError(
+                f"serve_mode must be '', 'percall', 'batched', or "
+                f"'continuous': {self.serve_mode!r}"
             )
 
 

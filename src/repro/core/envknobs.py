@@ -5,11 +5,14 @@ helpers so the tolerances are uniform: values are whitespace-stripped,
 empty/unset always means "use the default", and malformed values raise a
 ``ValueError`` naming the variable instead of being silently coerced.
 
-Adopters: ``REPRO_TRIALS`` / ``REPRO_WORKERS`` (:func:`int_knob`, via
-``experiments/common.py``), ``REPRO_HOTPATH`` / ``REPRO_SUITE_CONCURRENT``
-(:func:`bool_knob`), ``REPRO_CLOCK`` / ``REPRO_SERVE`` (:func:`choice_knob`).
-The knob table with defaults and precedence rules lives in
-docs/performance.md.
+Adopters: ``REPRO_TRIALS`` / ``REPRO_WORKERS`` / ``REPRO_SERVE_CAP`` /
+``REPRO_HTTP_RETRIES`` (:func:`int_knob`, via ``experiments/common.py``
+and the serving layer), ``REPRO_HOTPATH`` / ``REPRO_SUITE_CONCURRENT`` /
+``REPRO_OVERLAP`` (:func:`bool_knob`), ``REPRO_CLOCK`` / ``REPRO_SERVE``
+(:func:`choice_knob`), ``REPRO_HTTP_TIMEOUT`` / ``REPRO_HTTP_BACKOFF`` /
+``REPRO_HTTP_FAULT_RATE`` (:func:`float_knob`).  The knob table with
+defaults and precedence rules lives in docs/performance.md and the
+serving-specific knobs in docs/serving.md.
 """
 
 from __future__ import annotations
@@ -46,6 +49,31 @@ def int_knob(name: str, default: int, minimum: int = 1) -> int:
         value = int(raw)
     except ValueError:
         raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def float_knob(name: str, default: float, minimum: float = 0.0) -> float:
+    """Read a float knob, tolerating stray whitespace.
+
+    Empty / unset values fall back to ``default``; non-numbers and
+    values below ``minimum`` raise ``ValueError`` naming the variable.
+
+    >>> import os; os.environ["DOCTEST_KNOB_F"] = " 2.5 "
+    >>> float_knob("DOCTEST_KNOB_F", default=1.0)
+    2.5
+    >>> del os.environ["DOCTEST_KNOB_F"]
+    >>> float_knob("DOCTEST_KNOB_F", default=0.25)
+    0.25
+    """
+    raw = raw_knob(name)
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
     if value < minimum:
         raise ValueError(f"{name} must be >= {minimum}, got {value}")
     return value

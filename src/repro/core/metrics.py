@@ -60,6 +60,15 @@ class EpisodeResult:
     #: carried.  Both zero under per-call serving.
     serve_batches: int = 0
     serve_batched_requests: int = 0
+    #: Per-request latency attribution of the continuous-batching engine
+    #: (``REPRO_SERVE=continuous``): total queueing delay (arrival →
+    #: batch admission), total request latency (arrival → completion,
+    #: straggler retry rounds included), and how many requests joined a
+    #: batch already in flight.  All zero under per-call and batched
+    #: serving, which have no arrival-time queue.
+    serve_queue_seconds: float = 0.0
+    serve_request_seconds: float = 0.0
+    serve_inflight_joins: int = 0
 
     @property
     def sim_minutes(self) -> float:
@@ -71,6 +80,23 @@ class EpisodeResult:
         if self.serve_batches == 0:
             return 0.0
         return self.serve_batched_requests / self.serve_batches
+
+    @property
+    def mean_queue_delay(self) -> float:
+        """Mean seconds a request waited for batch admission (continuous
+        serving only; 0.0 in the modes without an arrival queue)."""
+        if self.serve_batched_requests == 0:
+            return 0.0
+        return self.serve_queue_seconds / self.serve_batched_requests
+
+    @property
+    def mean_request_latency(self) -> float:
+        """Mean arrival-to-completion seconds per served request
+        (continuous serving only): queue wait + batch service + any
+        straggler retry rounds."""
+        if self.serve_batched_requests == 0:
+            return 0.0
+        return self.serve_request_seconds / self.serve_batched_requests
 
     @property
     def seconds_per_step(self) -> float:
@@ -132,6 +158,9 @@ class MetricsCollector:
     replans: int = 0
     serve_batches: int = 0
     serve_batched_requests: int = 0
+    serve_queue_seconds: float = 0.0
+    serve_request_seconds: float = 0.0
+    serve_inflight_joins: int = 0
 
     def record_llm_call(
         self, step: int, agent: str, purpose: str, prompt_tokens: int, output_tokens: int
@@ -163,6 +192,21 @@ class MetricsCollector:
         self.serve_batches += 1
         self.serve_batched_requests += occupancy
 
+    def record_served_request(
+        self, wait_seconds: float, total_seconds: float, joined: bool = False
+    ) -> None:
+        """Per-request latency attribution from the continuous engine.
+
+        ``wait_seconds`` is the queueing delay (arrival → admission into
+        a batch; 0 for in-flight joins, which admit at their arrival),
+        ``total_seconds`` the full arrival-to-completion latency, and
+        ``joined`` whether the request joined a batch already in flight.
+        """
+        self.serve_queue_seconds += wait_seconds
+        self.serve_request_seconds += total_seconds
+        if joined:
+            self.serve_inflight_joins += 1
+
     def record_step(self, record: StepRecord) -> None:
         self.records.append(record)
 
@@ -193,6 +237,9 @@ class MetricsCollector:
             token_samples=self.token_samples,
             serve_batches=self.serve_batches,
             serve_batched_requests=self.serve_batched_requests,
+            serve_queue_seconds=self.serve_queue_seconds,
+            serve_request_seconds=self.serve_request_seconds,
+            serve_inflight_joins=self.serve_inflight_joins,
         )
 
 
@@ -245,6 +292,13 @@ class AggregateResult:
     #: Mean requests per batched-serving dispatch group across the
     #: cell's trials (0.0 when every trial served per-call).
     mean_batch_occupancy: float = 0.0
+    #: Continuous-serving queueing metrics across the cell's trials:
+    #: mean seconds a request waited for batch admission, mean
+    #: arrival-to-completion request latency, and mean in-flight batch
+    #: joins per episode.  All 0.0 outside ``REPRO_SERVE=continuous``.
+    mean_queue_delay: float = 0.0
+    mean_request_latency: float = 0.0
+    mean_inflight_joins: float = 0.0
 
     def module_breakdown(self) -> dict[ModuleName, float]:
         total = sum(self.module_seconds.values())
@@ -268,6 +322,8 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
     total_useful = sum(result.messages_useful for result in results)
     total_batches = sum(result.serve_batches for result in results)
     total_batched = sum(result.serve_batched_requests for result in results)
+    total_queue = sum(result.serve_queue_seconds for result in results)
+    total_request = sum(result.serve_request_seconds for result in results)
     return AggregateResult(
         workload=results[0].workload,
         n_trials=len(results),
@@ -285,4 +341,7 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
         mean_messages_sent=mean(result.messages_sent for result in results),
         mean_goal_progress=mean(result.goal_progress for result in results),
         mean_batch_occupancy=(total_batched / total_batches) if total_batches else 0.0,
+        mean_queue_delay=(total_queue / total_batched) if total_batched else 0.0,
+        mean_request_latency=(total_request / total_batched) if total_batched else 0.0,
+        mean_inflight_joins=mean(result.serve_inflight_joins for result in results),
     )

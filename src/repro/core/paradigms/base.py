@@ -12,6 +12,7 @@ import abc
 
 from repro.core import hotpath
 from repro.core.agent import EmbodiedAgent, PerceptionBundle
+from repro.core.envknobs import bool_knob
 from repro.core.bus import DeliveryBus
 from repro.core.clock import SimClock, host_profiler
 from repro.core.config import SystemConfig
@@ -40,6 +41,13 @@ class ParadigmLoop(abc.ABC):
         self.scheduler = InferenceScheduler(
             self.clock, self.metrics, mode=resolve_serve_mode(config)
         )
+        #: Perception–generation overlap (``REPRO_OVERLAP``): sense step
+        #: t+1 while the engine still generates for step t, per the
+        #: async-pipeline decomposition (arXiv 2509.09560).  Latency-only
+        #: and meaningful only when the serving mode defers charges to a
+        #: flush (the anchor is the flush's charge start); per-call
+        #: serving ignores the knob, keeping the golden path untouched.
+        self._overlap = bool_knob("REPRO_OVERLAP", False) and self.scheduler.defers
         agent_seed = derive_seed(seed, "agents")
         self.agents: list[EmbodiedAgent] = [
             EmbodiedAgent(
@@ -76,10 +84,11 @@ class ParadigmLoop(abc.ABC):
         for step in range(1, self.task.horizon + 1):
             self.env.tick()
             self.step(step)
-            # Catch-all serving flush: whatever the step's last phase
-            # left pending (execution-side reflections, replans) is
-            # dispatched before the next step — and before finalize.
-            self.scheduler.flush()
+            # Step-boundary serving flush: whatever the step's phases
+            # left pending is dispatched before the next step — and
+            # before finalize.  ``final`` marks it as the step boundary,
+            # the only flush the continuous engine dispatches at.
+            self.scheduler.flush(final=True)
             steps = step
             if self.env.is_success():
                 break
@@ -99,9 +108,22 @@ class ParadigmLoop(abc.ABC):
     # ------------------------------------------------------------------ #
 
     def perceive_all(self, step: int) -> dict[str, PerceptionBundle]:
-        """Run every agent's perceive concurrently (per-robot compute)."""
+        """Run every agent's perceive concurrently (per-robot compute).
+
+        Under ``REPRO_OVERLAP`` (with a deferring serving mode), sensing
+        for this step is backdated to where the previous step's flush
+        started charging generation latency: perception for step t+1
+        runs concurrently with generation for step t, and the clock
+        resumes at whichever finishes later.  The first step has no
+        generation to overlap with and senses normally.
+        """
         bundles: dict[str, PerceptionBundle] = {}
-        with self.clock.parallel():
+        scope = (
+            self.clock.overlapped(self.scheduler.overlap_anchor)
+            if self._overlap and step > 1
+            else self.clock.parallel()
+        )
+        with scope:
             for agent in self.agents:
                 agent.begin_step(step)
                 bundles[agent.name] = agent.perceive(self.env)
@@ -147,7 +169,9 @@ class ParadigmLoop(abc.ABC):
         defines "phase-concurrent" for batched serving: requests still
         pending at the flush shared a phase and dispatch as occupancy-
         aware batches.  No-op under per-call serving, where nothing is
-        ever pending.
+        ever pending — and under continuous serving, whose engine only
+        dispatches at the step-boundary flush so the whole step's
+        requests meet in one arrival-ordered queue.
         """
         self.scheduler.flush()
 

@@ -4,9 +4,10 @@ The paper's first recommendation is efficient LLM serving via request
 batching.  With serving factored into a scheduler
 (:mod:`repro.llm.scheduler`), that recommendation becomes measurable as
 a sweep: for each (paradigm, team size) cell, run the same seeded trials
-under per-call and batched serving and compare end-to-end latency, the
-batch occupancy the paradigm's phases expose, and — the layer's
-invariant — task success and token totals, which must not move.
+under per-call, batched, and continuous serving and compare end-to-end
+latency, the batch occupancy the paradigm's phases expose, the
+continuous engine's queueing delay, and — the layer's invariant — task
+success and token totals, which must not move.
 
 Shapes to expect:
 
@@ -19,9 +20,18 @@ Shapes to expect:
   1 — batching buys nothing, which is itself the paper's point that the
   paradigm already amortizes serving.
 
-The sweep's batched arm uses the config-level Rec. 1 transform
-(:func:`repro.optim.with_batching`), so it measures the same code path
-the ablation experiment and ``REPRO_SERVE=batched`` engage.
+The continuous column adds the queueing dimension: one engine per
+(profile, deployment) pair serves the whole step's requests in arrival
+order, so occupancy can only match or beat the batched column, and once
+a team exposes more concurrency than ``REPRO_SERVE_CAP`` admits, the
+queue-delay column turns nonzero — the serving cost ``batch_size`` caps
+never had under plain batching (docs/serving.md walks through the
+model).
+
+The sweep's batched and continuous arms use the config-level Rec. 1
+transforms (:func:`repro.optim.with_batching`,
+:func:`repro.optim.with_continuous_serving`), so they measure the same
+code paths ``REPRO_SERVE=batched`` / ``REPRO_SERVE=continuous`` engage.
 """
 
 from __future__ import annotations
@@ -31,24 +41,28 @@ from dataclasses import dataclass
 from repro.analysis.report import checkmark, format_series, format_table
 from repro.core.clock import default_to_coarse_for_sweeps
 from repro.experiments.common import ExperimentSettings, GridCell, measure_grid
-from repro.optim import with_batching
+from repro.optim import with_batching, with_continuous_serving
 from repro.workloads.registry import get_workload
 
 SUBJECTS = ("mindagent", "coela", "hmas")
 AGENT_COUNTS = (2, 4, 6, 8)
-MODES = ("percall", "batched")
+MODES = ("percall", "batched", "continuous")
 
 
 @dataclass(frozen=True)
 class ServingCell:
-    """One (workload, team size) comparison of the two serving modes."""
+    """One (workload, team size) comparison of the three serving modes."""
 
     workload: str
     paradigm: str
     n_agents: int
     percall_minutes: float
     batched_minutes: float
+    continuous_minutes: float
     occupancy: float
+    continuous_occupancy: float
+    queue_delay: float
+    inflight_joins: float
     outcomes_invariant: bool
 
     @property
@@ -56,6 +70,12 @@ class ServingCell:
         if self.batched_minutes <= 0.0:
             return 1.0
         return self.percall_minutes / self.batched_minutes
+
+    @property
+    def continuous_speedup(self) -> float:
+        if self.continuous_minutes <= 0.0:
+            return 1.0
+        return self.percall_minutes / self.continuous_minutes
 
 
 @dataclass(frozen=True)
@@ -76,23 +96,30 @@ def run(settings: ExperimentSettings | None = None) -> Fig8Result:
         for subject in SUBJECTS
         for n_agents in AGENT_COUNTS
     ]
+    transforms = {
+        "percall": lambda config: config,
+        "batched": with_batching,
+        "continuous": with_continuous_serving,
+    }
     grid = []
     for subject, n_agents in cases:
         base = get_workload(subject).config
         for mode in MODES:
-            config = base if mode == "percall" else with_batching(base)
-            grid.append(GridCell(config=config, n_agents=n_agents))
+            grid.append(GridCell(config=transforms[mode](base), n_agents=n_agents))
     aggregates = measure_grid(grid, settings)
+    width = len(MODES)
     cells = []
     for index, (subject, n_agents) in enumerate(cases):
-        percall = aggregates[2 * index]
-        batched = aggregates[2 * index + 1]
-        invariant = (
-            batched.success_rate == percall.success_rate
-            and batched.mean_steps == percall.mean_steps
-            and batched.mean_llm_calls == percall.mean_llm_calls
-            and batched.mean_prompt_tokens == percall.mean_prompt_tokens
-            and batched.mean_messages_sent == percall.mean_messages_sent
+        percall = aggregates[width * index]
+        batched = aggregates[width * index + 1]
+        continuous = aggregates[width * index + 2]
+        invariant = all(
+            served.success_rate == percall.success_rate
+            and served.mean_steps == percall.mean_steps
+            and served.mean_llm_calls == percall.mean_llm_calls
+            and served.mean_prompt_tokens == percall.mean_prompt_tokens
+            and served.mean_messages_sent == percall.mean_messages_sent
+            for served in (batched, continuous)
         )
         cells.append(
             ServingCell(
@@ -101,7 +128,11 @@ def run(settings: ExperimentSettings | None = None) -> Fig8Result:
                 n_agents=n_agents,
                 percall_minutes=percall.mean_sim_minutes,
                 batched_minutes=batched.mean_sim_minutes,
+                continuous_minutes=continuous.mean_sim_minutes,
                 occupancy=batched.mean_batch_occupancy,
+                continuous_occupancy=continuous.mean_batch_occupancy,
+                queue_delay=continuous.mean_queue_delay,
+                inflight_joins=continuous.mean_inflight_joins,
                 outcomes_invariant=invariant,
             )
         )
@@ -119,8 +150,12 @@ def render(result: Fig8Result) -> str:
                 cell.n_agents,
                 f"{cell.percall_minutes:.1f}",
                 f"{cell.batched_minutes:.1f}",
+                f"{cell.continuous_minutes:.1f}",
                 f"{cell.speedup:.2f}x",
+                f"{cell.continuous_speedup:.2f}x",
                 f"{cell.occupancy:.2f}",
+                f"{cell.continuous_occupancy:.2f}",
+                f"{cell.queue_delay:.1f}",
                 checkmark(cell.outcomes_invariant),
             )
         )
@@ -132,12 +167,16 @@ def render(result: Fig8Result) -> str:
                 "agents",
                 "percall (min)",
                 "batched (min)",
+                "contin. (min)",
                 "speedup",
+                "c-speedup",
                 "occupancy",
+                "c-occupancy",
+                "queue (s)",
                 "outcomes ==",
             ),
             rows,
-            title="Fig 8: request batching (Rec. 1) vs per-call serving",
+            title="Fig 8: serving modes (Rec. 1) vs per-call dispatch",
         )
     )
     for subject in SUBJECTS:
@@ -148,21 +187,27 @@ def render(result: Fig8Result) -> str:
                 {
                     "percall": [cell.percall_minutes for cell in series],
                     "batched": [cell.batched_minutes for cell in series],
+                    "continuous": [cell.continuous_minutes for cell in series],
                     "occupancy": [cell.occupancy for cell in series],
+                    "queue_delay": [cell.queue_delay for cell in series],
                 },
                 title=(
                     f"Fig 8 ({subject}, {series[0].paradigm}): "
-                    "task latency (min) and batch occupancy vs #agents"
+                    "task latency (min), batch occupancy, queue delay vs #agents"
                 ),
                 x_label="agents",
                 precision=1,
             )
         )
     blocks.append(
-        "(batching changes modeled latency only: success/token columns are "
-        "asserted identical per cell; occupancy shows how much phase "
+        "(serving modes change modeled latency only: success/token columns "
+        "are asserted identical per cell; occupancy shows how much phase "
         "concurrency each paradigm exposes — decentralized tracks the team "
-        "size, centralized is pinned at its single joint call)"
+        "size, centralized is pinned at its single joint call.  The "
+        "continuous columns add the queueing dimension: cross-phase engine "
+        "queues lift occupancy, and once a team exposes more concurrency "
+        "than REPRO_SERVE_CAP admits, requests wait — the queue (s) column "
+        "prices what batch_size caps used to do for free)"
     )
     return "\n\n".join(blocks)
 

@@ -49,6 +49,17 @@ class DeploymentOptions:
         if self.runtime not in ("", "mlc"):
             raise ValueError(f"unsupported runtime: {self.runtime!r}")
 
+    def occupancy_cap(self, default: int) -> int:
+        """Admission cap of the continuous-batching engine.
+
+        ``batch_size`` when the deployment configures one (> 1), else
+        the scheduler's ``default`` (``REPRO_SERVE_CAP``).  Under plain
+        batched serving a cap merely splits a flush into smaller
+        batches; under continuous serving requests beyond the cap wait
+        in the engine queue and the wait is charged to the clock.
+        """
+        return self.batch_size if self.batch_size > 1 else default
+
     def effective_profile(self, profile: LLMProfile) -> LLMProfile:
         """Apply quantization/runtime transforms to ``profile``."""
         result = profile

@@ -1,0 +1,357 @@
+"""OpenAI-compatible HTTP inference backend (the first real backend).
+
+:class:`HTTPBackend` satisfies the :class:`~repro.llm.backend.InferenceBackend`
+protocol against any endpoint that speaks the OpenAI *chat completions*
+dialect (vLLM, llama.cpp server, TGI's OpenAI shim, the OpenAI API
+itself), so an episode's serving layer can dispatch to a live model with
+zero pipeline changes — the scheduler keeps batching, charging, and
+attributing exactly as it does for :class:`~repro.llm.simulated.SimulatedLLM`.
+
+Transport behaviour (all knobs have ``REPRO_HTTP_*`` spellings, read by
+:meth:`HTTPOptions.from_env`):
+
+- **Timeouts** — every attempt is bounded by ``timeout_s``
+  (``REPRO_HTTP_TIMEOUT``); a hung endpoint becomes a retryable error,
+  never a hung episode.
+- **Retries with capped exponential backoff** — transient failures
+  (connection errors, timeouts, HTTP 429/5xx) are retried up to
+  ``max_retries`` (``REPRO_HTTP_RETRIES``) times, sleeping
+  ``min(backoff_cap_s, backoff_base_s * 2**attempt)`` between attempts
+  (``REPRO_HTTP_BACKOFF`` / ``REPRO_HTTP_BACKOFF_CAP``).  Non-transient
+  HTTP errors (4xx other than 429) raise immediately — retrying a bad
+  request wastes the budget.
+- **Deterministic fault injection** — ``fault_rate``
+  (``REPRO_HTTP_FAULT_RATE``) makes each attempt fail *before touching
+  the network* with that probability, drawn from a private
+  ``random.Random(fault_seed)`` stream so a request sequence produces
+  the same fault pattern on every run.  Injected faults consume retry
+  budget and backoff sleeps like real ones.
+
+Fault/retry accounting maps onto the scheduler's straggler-round model:
+an execute that needed ``n`` extra attempts returns ``rounds = 1 + n``,
+so batched and continuous serving price the retries as unbatched
+straggler re-issues — identical to how the simulated backend prices
+format retries.  The reported :attr:`InferenceResult.latency` is the
+*modeled* cost (``rounds *``
+:meth:`~repro.llm.profiles.LLMProfile.call_latency`), keeping the
+virtual clock's unit system intact; measured wall time accumulates on
+:attr:`HTTPBackend.wall_seconds` for calibration instead of leaking real
+seconds into the simulation.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.errors import FaultKind
+from repro.core.types import Decision
+from repro.llm.deployment import DeploymentOptions
+from repro.llm.profiles import LLMProfile, get_profile
+from repro.llm.requests import InferenceRequest, InferenceResult
+
+#: HTTP statuses worth retrying: rate limiting and server-side failures.
+RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+#: Fallback generation lengths when the endpoint reports no usage
+#: (mirrors :data:`repro.llm.simulated.OUTPUT_TOKENS`).
+_DEFAULT_OUTPUT_TOKENS = 64
+
+
+class HTTPBackendError(RuntimeError):
+    """A request failed after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class HTTPOptions:
+    """Transport configuration of one :class:`HTTPBackend`.
+
+    ``endpoint`` is the full chat-completions URL (e.g.
+    ``http://localhost:8000/v1/chat/completions``).
+    """
+
+    endpoint: str
+    model: str = ""
+    api_key: str = ""
+    timeout_s: float = 30.0
+    max_retries: int = 3
+    backoff_base_s: float = 0.5
+    backoff_cap_s: float = 8.0
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.endpoint:
+            raise ValueError("endpoint must be a non-empty URL")
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be > 0: {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1]: {self.fault_rate}")
+
+    def backoff(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt + 1`` (capped exponential)."""
+        return min(self.backoff_cap_s, self.backoff_base_s * (2.0**attempt))
+
+    @classmethod
+    def from_env(cls) -> "HTTPOptions":
+        """Build options from the ``REPRO_HTTP_*`` knobs.
+
+        Raises ``ValueError`` when ``REPRO_HTTP_ENDPOINT`` is unset —
+        callers that want optional wiring should check the variable (or
+        use :func:`backend_from_env`, which returns ``None`` instead).
+        """
+        from repro.core.envknobs import float_knob, int_knob, raw_knob
+
+        endpoint = raw_knob("REPRO_HTTP_ENDPOINT")
+        if not endpoint:
+            raise ValueError("REPRO_HTTP_ENDPOINT must be set to use HTTPBackend")
+        return cls(
+            endpoint=endpoint,
+            model=raw_knob("REPRO_HTTP_MODEL"),
+            api_key=raw_knob("REPRO_HTTP_API_KEY"),
+            timeout_s=float_knob("REPRO_HTTP_TIMEOUT", 30.0),
+            max_retries=int_knob("REPRO_HTTP_RETRIES", 3, minimum=0),
+            backoff_base_s=float_knob("REPRO_HTTP_BACKOFF", 0.5),
+            backoff_cap_s=float_knob("REPRO_HTTP_BACKOFF_CAP", 8.0),
+            fault_rate=float_knob("REPRO_HTTP_FAULT_RATE", 0.0),
+            fault_seed=int_knob("REPRO_HTTP_FAULT_SEED", 0, minimum=0),
+        )
+
+
+class _InjectedFault(Exception):
+    """A deterministic pre-network failure (fault injection)."""
+
+
+class HTTPBackend:
+    """An OpenAI-compatible endpoint behind the backend protocol.
+
+    Parameters
+    ----------
+    options:
+        Transport configuration (:class:`HTTPOptions`).
+    profile:
+        The :class:`~repro.llm.profiles.LLMProfile` (or registry name)
+        describing the served model — the scheduler keys its batches and
+        prices straggler rounds on it, and the modeled latency comes
+        from it.  Defaults to the ``gpt-4`` API profile.
+    deployment:
+        Serving options; part of the scheduler's engine key.
+    sleep:
+        Injectable backoff sleeper (tests record the schedule instead of
+        waiting it out).  Defaults to :func:`time.sleep`.
+    """
+
+    def __init__(
+        self,
+        options: HTTPOptions,
+        profile: LLMProfile | str = "gpt-4",
+        deployment: DeploymentOptions | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        base = get_profile(profile) if isinstance(profile, str) else profile
+        self.options = options
+        self.deployment = deployment or DeploymentOptions()
+        self.profile = self.deployment.effective_profile(base)
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._faults = random.Random(options.fault_seed)
+        #: Diagnostics: lifetime calls, retry attempts spent, injected
+        #: faults, and measured wall seconds (never fed to the virtual
+        #: clock — see module docstring).
+        self.calls = 0
+        self.retries = 0
+        self.injected_faults = 0
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Backend protocol
+    # ------------------------------------------------------------------ #
+
+    def execute(self, request: InferenceRequest) -> InferenceResult:
+        """Serve one typed request envelope over HTTP."""
+        started = time.monotonic()
+        text, usage, rounds = self._post_with_retries(self._payload(request))
+        self.wall_seconds += time.monotonic() - started
+        self.calls += 1
+        prompt_tokens = int(usage.get("prompt_tokens") or request.prompt.tokens)
+        output_tokens = int(
+            usage.get("completion_tokens")
+            or request.output_tokens
+            or _DEFAULT_OUTPUT_TOKENS
+        )
+        latency = rounds * self.profile.call_latency(prompt_tokens, output_tokens)
+        if request.kind == "decision":
+            assert request.decision is not None  # __post_init__ guarantees
+            decision = self._parse_decision(
+                request, text, prompt_tokens, output_tokens, latency, rounds
+            )
+            return InferenceResult(
+                prompt_tokens=prompt_tokens,
+                output_tokens=output_tokens,
+                latency=latency,
+                rounds=rounds,
+                decision=decision,
+            )
+        if request.kind == "judgement":
+            return InferenceResult(
+                prompt_tokens=prompt_tokens,
+                output_tokens=output_tokens,
+                latency=latency,
+                rounds=rounds,
+                verdict=_parse_verdict(text),
+            )
+        # "generation" and "completion": token/latency accounting only.
+        return InferenceResult(
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            latency=latency,
+            rounds=rounds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Transport
+    # ------------------------------------------------------------------ #
+
+    def _payload(self, request: InferenceRequest) -> dict:
+        messages = [{"role": "user", "content": request.prompt.render()}]
+        if request.kind == "decision" and request.decision is not None:
+            menu = "\n".join(
+                f"{index}: {candidate.subgoal.name}"
+                for index, candidate in enumerate(request.decision.candidates)
+            )
+            messages.append(
+                {
+                    "role": "user",
+                    "content": (
+                        "Choose exactly one option; answer with its number"
+                        f" only.\n{menu}"
+                    ),
+                }
+            )
+        elif request.kind == "judgement":
+            messages.append(
+                {"role": "user", "content": "Did the action succeed? yes or no."}
+            )
+        payload = {"messages": messages}
+        if self.options.model:
+            payload["model"] = self.options.model
+        if request.output_tokens is not None:
+            payload["max_tokens"] = request.output_tokens
+        return payload
+
+    def _post_with_retries(self, payload: dict) -> tuple[str, dict, int]:
+        """One logical call: returns (text, usage, rounds taken)."""
+        attempt = 0
+        last_error: Exception | None = None
+        while attempt <= self.options.max_retries:
+            try:
+                if self._faults.random() < self.options.fault_rate:
+                    self.injected_faults += 1
+                    raise _InjectedFault("injected transient fault")
+                text, usage = self._post(payload)
+                return text, usage, attempt + 1
+            except urllib.error.HTTPError as error:
+                if error.code not in RETRYABLE_STATUSES:
+                    raise HTTPBackendError(
+                        f"endpoint rejected the request: HTTP {error.code}"
+                    ) from error
+                last_error = error
+            except (urllib.error.URLError, TimeoutError, _InjectedFault) as error:
+                last_error = error
+            if attempt < self.options.max_retries:
+                self._sleep(self.options.backoff(attempt))
+                self.retries += 1
+            attempt += 1
+        raise HTTPBackendError(
+            f"request failed after {self.options.max_retries + 1} attempts: "
+            f"{last_error}"
+        ) from last_error
+
+    def _post(self, payload: dict) -> tuple[str, dict]:
+        headers = {"Content-Type": "application/json"}
+        if self.options.api_key:
+            headers["Authorization"] = f"Bearer {self.options.api_key}"
+        http_request = urllib.request.Request(
+            self.options.endpoint,
+            data=json.dumps(payload).encode("utf-8"),
+            headers=headers,
+            method="POST",
+        )
+        with urllib.request.urlopen(
+            http_request, timeout=self.options.timeout_s
+        ) as response:
+            body = json.loads(response.read().decode("utf-8"))
+        try:
+            text = body["choices"][0]["message"]["content"]
+        except (KeyError, IndexError, TypeError):
+            raise HTTPBackendError(
+                "endpoint response is not an OpenAI chat completion"
+            ) from None
+        usage = body.get("usage") or {}
+        return text, usage
+
+    # ------------------------------------------------------------------ #
+    # Content parsing
+    # ------------------------------------------------------------------ #
+
+    def _parse_decision(
+        self,
+        request: InferenceRequest,
+        text: str,
+        prompt_tokens: int,
+        output_tokens: int,
+        latency: float,
+        rounds: int,
+    ) -> Decision:
+        assert request.decision is not None
+        candidates = request.decision.candidates
+        index = _parse_choice(text)
+        fault = None
+        if index is None or not 0 <= index < len(candidates):
+            # Unparseable / out-of-range output: the seed's FORMAT fault,
+            # recovered by falling back to the first candidate.
+            index, fault = 0, FaultKind.FORMAT
+        return Decision(
+            subgoal=candidates[index].subgoal,
+            fault=fault,
+            prompt_tokens=prompt_tokens,
+            output_tokens=output_tokens,
+            latency=latency,
+            retries=rounds - 1,
+        )
+
+
+def _parse_choice(text: str) -> int | None:
+    """First integer in the model's answer, or ``None``."""
+    digits = ""
+    for char in text.strip():
+        if char.isdigit():
+            digits += char
+        elif digits:
+            break
+    return int(digits) if digits else None
+
+
+def _parse_verdict(text: str) -> bool:
+    """Lenient yes/no reading; anything non-affirmative is ``False``."""
+    lowered = text.strip().lower()
+    return lowered.startswith(("yes", "true", "1"))
+
+
+def backend_from_env(
+    profile: LLMProfile | str = "gpt-4",
+    deployment: DeploymentOptions | None = None,
+) -> HTTPBackend | None:
+    """An :class:`HTTPBackend` from ``REPRO_HTTP_*``, or ``None`` when
+    ``REPRO_HTTP_ENDPOINT`` is unset (the common, fully-simulated case)."""
+    from repro.core.envknobs import raw_knob
+
+    if not raw_knob("REPRO_HTTP_ENDPOINT"):
+        return None
+    return HTTPBackend(HTTPOptions.from_env(), profile=profile, deployment=deployment)

@@ -10,7 +10,7 @@ dispatches it to the issuing agent's
 and records the token sample — the accounting the modules previously did
 by hand, now in exactly one place.
 
-Two serving modes (``REPRO_SERVE``):
+Three serving modes (``REPRO_SERVE``):
 
 - ``percall`` (default) — dispatch immediately, in submission order,
   charging each request's own modeled latency at the exact clock position
@@ -33,8 +33,34 @@ Two serving modes (``REPRO_SERVE``):
   differ in the last ulp: deferred charges accumulate on the clock in
   flush order, which changes the float summation order).
 
-Mode precedence: a config with ``optimizations.batching`` set (the Rec. 1
-transform) always serves batched; otherwise ``REPRO_SERVE`` decides
+- ``continuous`` — a continuous-batching engine per (profile,
+  deployment) pair, modeled after real serving stacks (vLLM-style
+  iteration-level scheduling).  Content still resolves at submit; the
+  submit *clock position* is recorded as the request's arrival time and
+  the engine replays the arrival-ordered queue at the step boundary:
+  each batch starts at ``max(engine free, first arrival)``, admits
+  waiting requests up to the occupancy cap
+  (``DeploymentOptions.batch_size`` when configured, else
+  ``REPRO_SERVE_CAP``), and accepts *in-flight joins* — requests that
+  arrive while the batch is running join it if a slot is free, extending
+  the batch end by the recomputed shared latency (floored at the
+  joiner's own prefill+decode service).  Requests that find the engine
+  full wait, and that wait is charged through the clock
+  (:meth:`~repro.core.clock.SimClock.settle` ends each request's span at
+  its absolute completion), so ``batch_size`` caps now cost queueing
+  delay instead of splitting batches for free.  Per-request latency is
+  attributed via ``MetricsCollector.record_served_request`` and surfaces
+  as ``mean_queue_delay`` / ``mean_request_latency`` /
+  ``serve_inflight_joins`` on the episode and aggregate results.
+  Because one engine serves the whole step, cross-phase requests (plans,
+  action selections, messages) share the queue — the pipelined-stream
+  simplification of the async-pipeline paper (arXiv 2509.09560): a
+  request's issue time is its submit clock position even when its
+  content depended on an earlier pending result.
+
+Mode precedence: a config with ``optimizations.serve_mode`` set wins
+(per-cell control for grids); else ``optimizations.batching`` (the
+Rec. 1 transform) selects batched; otherwise ``REPRO_SERVE`` decides
 (default ``percall``).  API-profile groups batch too — that models the
 provider's server-side continuous batching, which is exactly how
 concurrent requests from one team would land on a real endpoint.
@@ -50,7 +76,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, NamedTuple
 
-from repro.core.envknobs import choice_knob
+from repro.core.envknobs import choice_knob, int_knob
 from repro.llm.backend import InferenceBackend
 from repro.llm.requests import InferenceRequest, InferenceResult
 
@@ -60,7 +86,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing-only imports
     from repro.core.metrics import MetricsCollector
 
 #: Serving modes selectable via config / ``REPRO_SERVE``.
-SERVE_MODES = ("percall", "batched")
+SERVE_MODES = ("percall", "batched", "continuous")
+
+#: Continuous-engine admission cap when the deployment leaves
+#: ``batch_size`` unconfigured (``REPRO_SERVE_CAP`` overrides).
+DEFAULT_OCCUPANCY_CAP = 8
 
 
 def serve_mode_from_env() -> str:
@@ -71,21 +101,28 @@ def serve_mode_from_env() -> str:
 def resolve_serve_mode(config: "SystemConfig") -> str:
     """The serving mode an episode of ``config`` runs under.
 
-    The config's Rec. 1 ``batching`` flag wins (it is the per-system
-    opt-in the ablation experiments toggle); otherwise the process-wide
+    An explicit ``optimizations.serve_mode`` wins (the per-cell control
+    the serving grids use to mix modes in one process); else the Rec. 1
+    ``batching`` flag selects batched (it is the per-system opt-in the
+    ablation experiments toggle); otherwise the process-wide
     ``REPRO_SERVE`` default applies.
     """
+    if config.optimizations.serve_mode:
+        return config.optimizations.serve_mode
     if config.optimizations.batching:
         return "batched"
     return serve_mode_from_env()
 
 
 class _Pending(NamedTuple):
-    """One submitted-but-uncharged request (batched mode)."""
+    """One submitted-but-uncharged request (deferred serving modes)."""
 
     backend: InferenceBackend
     request: InferenceRequest
     result: InferenceResult
+    #: Clock position at submit — the request's arrival time in the
+    #: continuous engine's queue (unused by batched dispatch).
+    arrival: float
 
 
 class InferenceScheduler:
@@ -114,11 +151,28 @@ class InferenceScheduler:
         #: Lifetime requests handled — an engagement counter for tests
         #: and diagnostics, never read by the pipeline.
         self.dispatched = 0
+        #: Continuous engine: admission cap for deployments that leave
+        #: ``batch_size`` unconfigured, and the per-(profile, deployment)
+        #: busy-until horizon that persists across flushes so a new
+        #: step's arrivals queue behind work still in flight.
+        self.default_cap = int_knob("REPRO_SERVE_CAP", DEFAULT_OCCUPANCY_CAP)
+        self._engine_free: dict[tuple, float] = {}
+        #: Clock position where the last dispatching flush started
+        #: charging — the anchor perception–generation overlap
+        #: (``REPRO_OVERLAP``) backdates the next step's sensing to.
+        self.overlap_anchor = 0.0
 
     @property
     def pending(self) -> int:
-        """Requests submitted and not yet charged (batched mode only)."""
+        """Requests submitted and not yet charged (deferred modes only)."""
         return len(self._pending)
+
+    @property
+    def defers(self) -> bool:
+        """Whether this mode defers latency charges to a flush — the
+        precondition for perception–generation overlap (the anchor is
+        only meaningful when generation charges at flush time)."""
+        return self.mode != "percall"
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -131,17 +185,22 @@ class InferenceScheduler:
 
         Content always resolves now (the backend executes in submission
         order, keeping the rng stream seed-identical); per-call mode also
-        charges the clock now, batched mode defers the charge to the next
-        :meth:`flush` — except for requests marked ``sequential``, whose
-        issuance depended on an earlier result and which therefore charge
-        per-call in every mode.  Metric recording is mode-independent:
+        charges the clock now, the deferred modes (batched, continuous)
+        postpone the charge to the next dispatching :meth:`flush` —
+        except for requests marked ``sequential``, whose issuance
+        depended on an earlier result and which therefore charge
+        per-call in every mode.  Continuous mode additionally records
+        the current clock position as the request's arrival time in the
+        engine queue.  Metric recording is mode-independent:
         the token sample and (for decisions) the fault count land
         immediately, in the seed's order.
         """
         result = backend.execute(request)
         self.dispatched += 1
-        if self.mode == "batched" and not request.sequential:
-            self._pending.append(_Pending(backend, request, result))
+        if self.mode != "percall" and not request.sequential:
+            self._pending.append(
+                _Pending(backend, request, result, arrival=self._clock.now)
+            )
         else:
             self._charge(request, result.latency)
         self._metrics.record_llm_call(
@@ -159,23 +218,38 @@ class InferenceScheduler:
     # Batched dispatch
     # ------------------------------------------------------------------ #
 
-    def flush(self) -> None:
-        """Dispatch pending requests as occupancy-aware batches.
+    def flush(self, final: bool = False) -> None:
+        """Dispatch pending requests through the active deferred mode.
 
-        Pending requests are grouped by serving group — (effective
-        profile, deployment options, module, phase, purpose), the
-        profile compared by value so same-named profiles with different
-        latency parameters never share a batch — in first-submission
-        order; each group becomes one batch (split when the deployment
-        caps ``batch_size``).  Multi-request batches charge the shared
-        batch latency once (attributed to the pseudo-agent ``"batch"``,
-        as the seed's batched planner did) plus each request's retry
-        rounds; singleton batches charge exactly like per-call mode.
-        No-op in per-call mode, which never has pending requests.
+        Batched mode dispatches at every flush (the loops call it at
+        their phase boundaries, which is what defines "phase-concurrent");
+        continuous mode dispatches only at the step-boundary flush
+        (``final=True``) — intermediate flushes are no-ops so the whole
+        step's requests meet in one arrival-ordered engine queue, the
+        property that lets plans, messages, and action selections from
+        different phases share batches.  No-op in per-call mode, which
+        never has pending requests.
+
+        In batched mode, pending requests are grouped by serving group —
+        (effective profile, deployment options, module, phase, purpose),
+        the profile compared by value so same-named profiles with
+        different latency parameters never share a batch — in
+        first-submission order; each group becomes one batch (split when
+        the deployment caps ``batch_size``).  Multi-request batches
+        charge the shared batch latency once (attributed to the
+        pseudo-agent ``"batch"``, as the seed's batched planner did)
+        plus each request's retry rounds; singleton batches charge
+        exactly like per-call mode.
         """
         if not self._pending:
             return
+        if self.mode == "continuous" and not final:
+            return
+        self.overlap_anchor = self._clock.now
         pending, self._pending = self._pending, []
+        if self.mode == "continuous":
+            self._flush_continuous(pending)
+            return
         groups: dict[tuple, list[_Pending]] = {}
         for item in pending:
             backend, request = item.backend, item.request
@@ -195,7 +269,7 @@ class InferenceScheduler:
 
     def _dispatch_batch(self, items: list[_Pending]) -> None:
         if len(items) == 1:
-            backend, request, result = items[0]
+            backend, request, result = items[0][:3]
             self._charge(request, result.latency)
             self._metrics.record_batch(1)
             return
@@ -207,14 +281,115 @@ class InferenceScheduler:
             [item.result.output_tokens for item in items],
         )
         self._clock.advance(batch_latency, first.module, phase=first.phase, agent="batch")
-        for item_backend, request, result in items:
+        for item in items:
+            result = item.result
             if result.rounds > 1:
                 # Stragglers: each retry re-issues the request alone.
-                per_call = item_backend.profile.call_latency(
+                per_call = item.backend.profile.call_latency(
                     result.prompt_tokens, result.output_tokens
                 )
-                self._charge(request, (result.rounds - 1) * per_call)
+                self._charge(item.request, (result.rounds - 1) * per_call)
         self._metrics.record_batch(len(items))
+
+    # ------------------------------------------------------------------ #
+    # Continuous-batching engine
+    # ------------------------------------------------------------------ #
+
+    def _flush_continuous(self, pending: list[_Pending]) -> None:
+        """Replay the step's arrivals through per-engine queues.
+
+        One engine per (effective profile, deployment options) pair —
+        deliberately coarser than the batched serving group, so requests
+        from different phases and purposes can share a batch the way
+        they would share a real endpoint.  Each engine drains its
+        arrival-ordered queue: a batch starts at ``max(engine free,
+        first arrival)``, admits every request already waiting (up to
+        the occupancy cap), then accepts in-flight joins that arrive
+        before it finishes.  Requests the cap excludes wait for the next
+        batch, and the wait is charged as part of their span — the
+        queueing cost ``batch_size`` never had under plain batching.
+        """
+        engines: dict[tuple, list[_Pending]] = {}
+        for item in pending:
+            key = (item.backend.profile, item.backend.deployment)
+            engines.setdefault(key, []).append(item)
+        for key, items in engines.items():
+            self._engine_free[key] = self._run_engine(
+                items, self._engine_free.get(key, 0.0)
+            )
+
+    def _run_engine(self, items: list[_Pending], free_at: float) -> float:
+        """Drain one engine's queue; returns the new busy-until horizon."""
+        profile = items[0].backend.profile
+        deployment = items[0].backend.deployment
+        cap = deployment.occupancy_cap(self.default_cap)
+        # Stable sort: ties in arrival keep submission order.
+        queue = sorted(items, key=lambda item: item.arrival)
+        index = 0
+        while index < len(queue):
+            start = max(free_at, queue[index].arrival)
+            batch: list[tuple[_Pending, float, bool]] = []  # (item, admit, joined)
+            while (
+                index < len(queue)
+                and len(batch) < cap
+                and queue[index].arrival <= start
+            ):
+                batch.append((queue[index], start, False))
+                index += 1
+            end = start + deployment.batched_call_latency(
+                profile,
+                [item.result.prompt_tokens for item, _, _ in batch],
+                [item.result.output_tokens for item, _, _ in batch],
+            )
+            # In-flight joins: a request arriving while the batch runs
+            # takes a free slot at its arrival instant.  The batch end is
+            # the recomputed shared latency, floored at the joiner's own
+            # prefill+decode service (it cannot finish faster than its
+            # tokens stream, and the engine's per-call overhead was
+            # already paid when the batch launched).
+            while (
+                index < len(queue)
+                and len(batch) < cap
+                and queue[index].arrival < end
+            ):
+                joiner = queue[index]
+                batch.append((joiner, joiner.arrival, True))
+                index += 1
+                shared = start + deployment.batched_call_latency(
+                    profile,
+                    [item.result.prompt_tokens for item, _, _ in batch],
+                    [item.result.output_tokens for item, _, _ in batch],
+                )
+                floor = joiner.arrival + (
+                    joiner.result.prompt_tokens / profile.prefill_tps
+                    + joiner.result.output_tokens / profile.decode_tps
+                )
+                end = max(shared, floor)
+            for item, admit, joined in batch:
+                result = item.result
+                completion = end
+                if result.rounds > 1:
+                    # Stragglers re-issue alone, delaying only their own
+                    # completion — the engine moves on at ``end``.
+                    completion += (result.rounds - 1) * profile.call_latency(
+                        result.prompt_tokens, result.output_tokens
+                    )
+                request = item.request
+                self._clock.settle(
+                    completion,
+                    completion - item.arrival,
+                    request.module,
+                    phase=request.phase,
+                    agent=request.agent,
+                )
+                self._metrics.record_served_request(
+                    wait_seconds=admit - item.arrival,
+                    total_seconds=completion - item.arrival,
+                    joined=joined,
+                )
+            self._metrics.record_batch(len(batch))
+            free_at = end
+        return free_at
 
     def _charge(self, request: InferenceRequest, seconds: float) -> None:
         self._clock.advance(

@@ -5,12 +5,14 @@ from repro.optim.recommendations import (
     RECOMMENDATIONS,
     with_batching,
     with_comm_filter,
+    with_continuous_serving,
     with_dual_memory,
     with_hierarchy,
     with_mlc_runtime,
     with_multistep_planning,
     with_plan_then_comm,
     with_quantization,
+    with_serving,
 )
 
 __all__ = [
@@ -19,10 +21,12 @@ __all__ = [
     "cluster_agents",
     "with_batching",
     "with_comm_filter",
+    "with_continuous_serving",
     "with_dual_memory",
     "with_hierarchy",
     "with_mlc_runtime",
     "with_multistep_planning",
     "with_plan_then_comm",
     "with_quantization",
+    "with_serving",
 ]

@@ -46,6 +46,23 @@ def with_batching(config: SystemConfig) -> SystemConfig:
     return config.with_optimizations(batching=True)
 
 
+def with_serving(config: SystemConfig, mode: str) -> SystemConfig:
+    """Rec. 1: pin the system to one inference-serving mode.
+
+    The per-cell control the serving grids (Fig. 8,
+    ``benchmarks/bench_serving.py``) use to mix modes in one process.
+    Not in :data:`RECOMMENDATIONS` — the ablation sweeps keep comparing
+    the ``batching`` flag, whose outputs are golden-gated.
+    """
+    return config.with_optimizations(serve_mode=mode)
+
+
+def with_continuous_serving(config: SystemConfig) -> SystemConfig:
+    """Rec. 1: serve through the continuous-batching engine
+    (arrival-time queue, in-flight joins, charged queueing delay)."""
+    return with_serving(config, "continuous")
+
+
 def with_quantization(config: SystemConfig) -> SystemConfig:
     """Rec. 1: AWQ 4-bit quantization for locally served models."""
     return config.with_optimizations(quantization="awq")

@@ -39,6 +39,78 @@ class TestAdvance:
             clock.wait(-1.0)
 
 
+class TestSettle:
+    def test_future_completion_moves_the_clock(self, clock):
+        clock.advance(1.0, ModuleName.PLANNING)
+        span = clock.settle(5.0, 3.0, ModuleName.PLANNING, phase="plan", agent="a0")
+        assert clock.now == pytest.approx(5.0)
+        assert span.start == pytest.approx(2.0)
+        assert span.duration == pytest.approx(3.0)
+
+    def test_past_completion_leaves_now_alone(self, clock):
+        """A request that finished before `now` overlapped already-charged
+        work: zero wall-clock impact, full module attribution."""
+        clock.advance(10.0, ModuleName.EXECUTION)
+        clock.settle(4.0, 3.0, ModuleName.PLANNING)
+        assert clock.now == pytest.approx(10.0)
+        assert clock.elapsed_by_module()[ModuleName.PLANNING] == pytest.approx(3.0)
+
+    def test_negative_duration_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.settle(1.0, -0.1, ModuleName.PLANNING)
+
+    def test_coarse_mode_sums_identically(self):
+        from repro.core.clock import override_coarse
+
+        with override_coarse(True):
+            coarse = SimClock()
+        assert coarse.settle(5.0, 3.0, ModuleName.PLANNING, phase="p") is None
+        assert coarse.now == pytest.approx(5.0)
+        assert coarse.elapsed_by_module()[ModuleName.PLANNING] == pytest.approx(3.0)
+        assert coarse.elapsed_by_phase()[(ModuleName.PLANNING, "p")] == pytest.approx(3.0)
+
+    def test_inside_parallel_scope_extends_the_front(self, clock):
+        clock.advance(2.0, ModuleName.EXECUTION)
+        with clock.parallel():
+            clock.settle(6.0, 1.0, ModuleName.PLANNING)
+            clock.settle(4.0, 1.0, ModuleName.PLANNING)
+        assert clock.now == pytest.approx(6.0)
+
+
+class TestOverlapped:
+    def test_backdates_to_anchor(self, clock):
+        """Work fitting inside the tail since the anchor is free."""
+        clock.advance(10.0, ModuleName.PLANNING)
+        with clock.overlapped(4.0):
+            clock.advance(3.0, ModuleName.SENSING)  # 4.0 -> 7.0 < 10.0
+        assert clock.now == pytest.approx(10.0)
+        assert clock.elapsed_by_module()[ModuleName.SENSING] == pytest.approx(3.0)
+
+    def test_long_overlap_extends_past_resume(self, clock):
+        clock.advance(10.0, ModuleName.PLANNING)
+        with clock.overlapped(4.0):
+            clock.advance(9.0, ModuleName.SENSING)  # 4.0 -> 13.0 > 10.0
+        assert clock.now == pytest.approx(13.0)
+
+    def test_branches_take_max_like_parallel(self, clock):
+        clock.advance(10.0, ModuleName.PLANNING)
+        with clock.overlapped(8.0):
+            clock.advance(1.0, ModuleName.SENSING)
+            clock.advance(5.0, ModuleName.SENSING)
+        assert clock.now == pytest.approx(13.0)
+
+    def test_stale_anchor_clamps_to_now(self, clock):
+        clock.advance(2.0, ModuleName.PLANNING)
+        with clock.overlapped(50.0):
+            clock.advance(1.0, ModuleName.SENSING)
+        assert clock.now == pytest.approx(3.0)
+
+    def test_rejects_nesting_inside_parallel(self, clock):
+        with clock.parallel():
+            with pytest.raises(ValueError):
+                clock.overlapped(0.0)
+
+
 class TestAttribution:
     def test_elapsed_by_module_sums(self, clock):
         clock.advance(1.0, ModuleName.PLANNING)

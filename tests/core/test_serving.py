@@ -1,10 +1,11 @@
-"""Episode-level tests of the batched serving mode (Rec. 1).
+"""Episode-level tests of the deferred serving modes (Rec. 1).
 
 The scheduler unit tests (``tests/llm/test_scheduler.py``) pin the batch
-pricing; these tests drive whole episodes through the paradigm loops and
-assert the serving layer's system-level contract: batching is invisible
-to task outcomes, visible in modeled latency, and exposes the occupancy
-structure each paradigm's phases actually have.
+pricing and the continuous engine's queue mechanics; these tests drive
+whole episodes through the paradigm loops and assert the serving layer's
+system-level contract: serving modes are invisible to task outcomes,
+visible in modeled latency, and expose the occupancy/queueing structure
+each paradigm's phases actually have.
 """
 
 from __future__ import annotations
@@ -12,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.runner import build_loop, build_task, run_episode
-from repro.optim import with_batching, with_hierarchy
+from repro.optim import with_batching, with_continuous_serving, with_hierarchy
 from repro.workloads.registry import get_workload
 
 OUTCOME_FIELDS = (
@@ -94,3 +95,77 @@ class TestBatchedEpisodes:
         result = run_episode(get_workload("coela").config.with_agents(4), seed=2)
         assert result.serve_batches == 0
         assert result.mean_batch_occupancy == 0.0
+        assert result.mean_queue_delay == 0.0
+        assert result.mean_request_latency == 0.0
+        assert result.serve_inflight_joins == 0
+
+    def test_batched_reports_no_queue_metrics(self):
+        """Plain batching has no arrival queue: the queueing columns stay
+        zero, distinguishing it from the continuous engine."""
+        result = run_episode(
+            with_batching(get_workload("coela").config.with_agents(4)), seed=2
+        )
+        assert result.serve_batches > 0
+        assert result.mean_queue_delay == 0.0
+        assert result.serve_inflight_joins == 0
+
+
+class TestContinuousEpisodes:
+    def test_outcomes_invariant_latency_and_queueing_visible(self):
+        base = get_workload("coela").config.with_agents(8)
+        percall = run_episode(base, seed=2)
+        batched = run_episode(with_batching(base), seed=2)
+        continuous = run_episode(with_continuous_serving(base), seed=2)
+        assert outcomes(continuous) == outcomes(percall)
+        # The whole step's requests share one engine, so occupancy can
+        # only match or beat the phase-segregated batched groups.
+        assert continuous.mean_batch_occupancy >= batched.mean_batch_occupancy
+        # Eight agents expose more than REPRO_SERVE_CAP concurrent
+        # requests per step: the cap makes some of them wait, and the
+        # wait is charged (per-request latency >= queue delay > 0).
+        assert continuous.mean_queue_delay > 0.0
+        assert continuous.mean_request_latency > continuous.mean_queue_delay
+        assert continuous.serve_inflight_joins > 0
+        assert continuous.sim_seconds < percall.sim_seconds
+
+    def test_single_agent_continuous_matches_percall_latency(self):
+        base = get_workload("jarvis-1").config
+        percall = run_episode(base, seed=1)
+        continuous = run_episode(with_continuous_serving(base), seed=1)
+        assert outcomes(continuous) == outcomes(percall)
+        assert continuous.mean_batch_occupancy >= 1.0
+
+    def test_loop_finishes_with_nothing_pending(self):
+        config = with_continuous_serving(get_workload("coela").config.with_agents(4))
+        task = build_task(config, seed=3)
+        loop = build_loop(config, task, seed=3)
+        result = loop.run()
+        assert loop.scheduler.mode == "continuous"
+        assert loop.scheduler.pending == 0
+        # Sequential requests (primitive chains) charge per-call even
+        # here, so the engine serves at most the episode's call count.
+        assert 0 < result.serve_batched_requests <= result.llm_calls
+
+
+class TestPerceptionOverlap:
+    def test_overlap_shaves_latency_without_touching_outcomes(self, monkeypatch):
+        base = with_continuous_serving(get_workload("coela").config.with_agents(4))
+        monkeypatch.delenv("REPRO_OVERLAP", raising=False)
+        plain = run_episode(base, seed=2)
+        monkeypatch.setenv("REPRO_OVERLAP", "1")
+        overlapped = run_episode(base, seed=2)
+        assert outcomes(overlapped) == outcomes(plain)
+        assert overlapped.sim_seconds < plain.sim_seconds
+        # Full module attribution is preserved; only wall-clock shrinks.
+        assert sum(overlapped.module_seconds.values()) == pytest.approx(
+            sum(plain.module_seconds.values())
+        )
+
+    def test_overlap_is_inert_under_percall(self, monkeypatch):
+        base = get_workload("coela").config.with_agents(4)
+        monkeypatch.delenv("REPRO_OVERLAP", raising=False)
+        plain = run_episode(base, seed=2)
+        monkeypatch.setenv("REPRO_OVERLAP", "1")
+        overlapped = run_episode(base, seed=2)
+        assert outcomes(overlapped) == outcomes(plain)
+        assert overlapped.sim_seconds == plain.sim_seconds

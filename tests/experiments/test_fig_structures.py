@@ -135,6 +135,18 @@ class TestFig8:
         for cell in result.series("coela"):
             assert cell.occupancy == pytest.approx(cell.n_agents, abs=0.5)
 
+    def test_continuous_occupancy_matches_or_beats_batched(self, result):
+        """Cross-phase engine queues can only merge more, never less."""
+        for cell in result.cells:
+            assert cell.continuous_occupancy >= cell.occupancy - 1e-9
+            assert cell.continuous_minutes <= cell.percall_minutes * (1 + 1e-9)
+
+    def test_continuous_queueing_on_decentralized_teams(self, result):
+        """Once coela exposes >1 step of phases, the engine queue is real."""
+        cells = result.series("coela")
+        assert any(cell.queue_delay > 0.0 for cell in cells)
+        assert any(cell.inflight_joins > 0.0 for cell in cells)
+
     def test_render_mentions_every_subject(self, result):
         text = fig8_serving.render(result)
         for subject in fig8_serving.SUBJECTS:

@@ -1,0 +1,375 @@
+"""Tests for the OpenAI-compatible HTTP backend against a local stub.
+
+The stub is a real ``http.server`` on a loopback port, scripted per test:
+each entry in its ``plan`` describes how to answer the next request
+(a chat completion, an error status, or a sleep past the client
+timeout).  That exercises the actual urllib transport — timeouts,
+status-code classification, retry/backoff schedule — without any
+network dependency, plus the protocol seam: an :class:`HTTPBackend`
+submitted through the :class:`~repro.llm.scheduler.InferenceScheduler`
+must batch, straggle, and queue exactly like the simulated backend.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.core.clock import ModuleName, SimClock
+from repro.core.errors import FaultKind
+from repro.core.metrics import MetricsCollector
+from repro.core.types import Candidate, Subgoal
+from repro.llm.backend import InferenceBackend
+from repro.llm.behavior import DecisionRequest
+from repro.llm.http_backend import (
+    HTTPBackend,
+    HTTPBackendError,
+    HTTPOptions,
+    backend_from_env,
+)
+from repro.llm.prompt import PromptBuilder
+from repro.llm.requests import InferenceRequest
+from repro.llm.scheduler import InferenceScheduler
+
+
+def completion(text: str, prompt_tokens: int = 40, completion_tokens: int = 12) -> dict:
+    return {
+        "choices": [{"message": {"role": "assistant", "content": text}}],
+        "usage": {
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": completion_tokens,
+        },
+    }
+
+
+class StubState:
+    """Scripted responses plus a log of everything the stub received."""
+
+    def __init__(self) -> None:
+        self.plan: list[dict] = []
+        self.requests: list[dict] = []
+        self.lock = threading.Lock()
+
+    def next_action(self, body: dict) -> dict:
+        with self.lock:
+            self.requests.append(body)
+            if self.plan:
+                return self.plan.pop(0)
+        return {"reply": completion("0")}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    state: StubState  # assigned by the fixture
+
+    def do_POST(self):  # noqa: N802 (http.server API)
+        length = int(self.headers.get("Content-Length", 0))
+        body = json.loads(self.rfile.read(length) or b"{}")
+        action = self.state.next_action(body)
+        if "sleep" in action:
+            time.sleep(action["sleep"])
+        if "status" in action:
+            self.send_error(action["status"])
+            return
+        payload = json.dumps(action["reply"]).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args):  # silence per-request stderr noise
+        pass
+
+
+@pytest.fixture()
+def stub():
+    state = StubState()
+    handler = type("Handler", (_Handler,), {"state": state})
+    server = ThreadingHTTPServer(("127.0.0.1", 0), handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    state.endpoint = f"http://127.0.0.1:{server.server_address[1]}/v1/chat/completions"
+    try:
+        yield state
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def make_backend(stub, sleeps: list[float] | None = None, **overrides) -> HTTPBackend:
+    options = HTTPOptions(
+        endpoint=stub.endpoint,
+        model="stub-model",
+        timeout_s=overrides.pop("timeout_s", 5.0),
+        max_retries=overrides.pop("max_retries", 3),
+        backoff_base_s=overrides.pop("backoff_base_s", 0.25),
+        backoff_cap_s=overrides.pop("backoff_cap_s", 1.0),
+        **overrides,
+    )
+    sleep = sleeps.append if sleeps is not None else (lambda _s: None)
+    return HTTPBackend(options, sleep=sleep)
+
+
+def prompt_of(words: int = 30):
+    return PromptBuilder(system_text="plan well").extra("body", "word " * words).build()
+
+
+def decision_request(agent: str = "agent_0"):
+    return InferenceRequest(
+        kind="decision",
+        purpose="plan",
+        prompt=prompt_of(),
+        module=ModuleName.PLANNING,
+        phase="plan",
+        agent=agent,
+        step=1,
+        decision=DecisionRequest(
+            candidates=[
+                Candidate(subgoal=Subgoal("fetch"), utility=1.0),
+                Candidate(subgoal=Subgoal("stack"), utility=0.5),
+            ]
+        ),
+    )
+
+
+def generation_request(purpose: str = "message"):
+    return InferenceRequest(
+        kind="generation",
+        purpose=purpose,
+        prompt=prompt_of(),
+        module=ModuleName.COMMUNICATION,
+        phase="compose",
+        agent="agent_0",
+        step=1,
+    )
+
+
+class TestProtocol:
+    def test_satisfies_backend_protocol(self, stub):
+        assert isinstance(make_backend(stub), InferenceBackend)
+
+    def test_decision_parses_choice_and_usage(self, stub):
+        stub.plan = [{"reply": completion(" 1 ", prompt_tokens=55, completion_tokens=9)}]
+        backend = make_backend(stub)
+        result = backend.execute(decision_request())
+        assert result.decision is not None
+        assert result.decision.subgoal.name == "stack"
+        assert result.decision.fault is None
+        assert (result.prompt_tokens, result.output_tokens) == (55, 9)
+        assert result.rounds == 1
+        assert result.latency == pytest.approx(backend.profile.call_latency(55, 9))
+        # The stub saw the model name and the candidate menu.
+        assert stub.requests[0]["model"] == "stub-model"
+        assert "0: fetch" in stub.requests[0]["messages"][-1]["content"]
+
+    def test_unparseable_choice_is_a_format_fault(self, stub):
+        stub.plan = [{"reply": completion("definitely the red one")}]
+        result = make_backend(stub).execute(decision_request())
+        assert result.decision.fault is FaultKind.FORMAT
+        assert result.decision.subgoal.name == "fetch"  # falls back to first
+
+    def test_out_of_range_choice_is_a_format_fault(self, stub):
+        stub.plan = [{"reply": completion("7")}]
+        result = make_backend(stub).execute(decision_request())
+        assert result.decision.fault is FaultKind.FORMAT
+
+    def test_judgement_parses_verdict(self, stub):
+        stub.plan = [
+            {"reply": completion("Yes, it worked.")},
+            {"reply": completion("no")},
+        ]
+        backend = make_backend(stub)
+        request = InferenceRequest(
+            kind="judgement",
+            purpose="reflection",
+            prompt=prompt_of(),
+            module=ModuleName.REFLECTION,
+            phase="reflect",
+            agent="agent_0",
+            step=1,
+            true_outcome=True,
+        )
+        assert backend.execute(request).verdict is True
+        assert backend.execute(request).verdict is False
+
+    def test_generation_returns_accounting_only(self, stub):
+        stub.plan = [{"reply": completion("hello", prompt_tokens=20, completion_tokens=5)}]
+        result = make_backend(stub).execute(generation_request())
+        assert result.decision is None and result.verdict is None
+        assert (result.prompt_tokens, result.output_tokens) == (20, 5)
+
+
+class TestTransport:
+    def test_timeout_is_retried_then_raises(self, stub):
+        """A hung endpoint times out per attempt and exhausts the budget."""
+        stub.plan = [{"sleep": 1.0}, {"sleep": 1.0}]
+        sleeps: list[float] = []
+        backend = make_backend(stub, sleeps=sleeps, timeout_s=0.1, max_retries=1)
+        with pytest.raises(HTTPBackendError, match="after 2 attempts"):
+            backend.execute(generation_request())
+        assert sleeps == [0.25]
+
+    def test_retry_backoff_schedule_is_capped_exponential(self, stub):
+        stub.plan = [{"status": 500}, {"status": 503}, {"status": 429}]
+        sleeps: list[float] = []
+        backend = make_backend(
+            stub, sleeps=sleeps, max_retries=3, backoff_base_s=0.5, backoff_cap_s=1.0
+        )
+        result = backend.execute(generation_request())
+        assert result.rounds == 4  # three failures + the success
+        assert sleeps == [0.5, 1.0, 1.0]  # 0.5, 1.0, min(cap, 2.0)
+        assert backend.retries == 3
+
+    def test_client_errors_do_not_retry(self, stub):
+        stub.plan = [{"status": 400}]
+        sleeps: list[float] = []
+        backend = make_backend(stub, sleeps=sleeps)
+        with pytest.raises(HTTPBackendError, match="HTTP 400"):
+            backend.execute(generation_request())
+        assert sleeps == []  # rejected immediately, no backoff
+
+    def test_rounds_map_to_straggler_model(self, stub):
+        """Extra attempts surface as ``rounds``, priced like format
+        retries: the per-call latency is ``rounds * call_latency``."""
+        stub.plan = [{"status": 502}, {"reply": completion("0")}]
+        backend = make_backend(stub)
+        result = backend.execute(decision_request())
+        assert result.rounds == 2
+        assert result.latency == pytest.approx(
+            2 * backend.profile.call_latency(result.prompt_tokens, result.output_tokens)
+        )
+        assert result.decision.retries == 1
+
+
+def fault_pattern(backend, calls: int = 8) -> list[int]:
+    """Rounds per call; -1 marks a request that exhausted its budget."""
+    pattern = []
+    for _ in range(calls):
+        try:
+            pattern.append(backend.execute(generation_request()).rounds)
+        except HTTPBackendError:
+            pattern.append(-1)
+    return pattern
+
+
+class TestFaultInjection:
+    def test_injected_faults_are_deterministic(self, stub):
+        """Same seed, same request sequence -> identical fault pattern
+        (budget exhaustions included)."""
+        patterns = [
+            fault_pattern(make_backend(stub, fault_rate=0.5, fault_seed=7))
+            for _ in range(2)
+        ]
+        assert patterns[0] == patterns[1]
+        assert any(value != 1 for value in patterns[0])  # rate 0.5 does fault
+
+    def test_fault_rate_one_exhausts_the_budget(self, stub):
+        sleeps: list[float] = []
+        backend = make_backend(
+            stub, sleeps=sleeps, fault_rate=1.0, fault_seed=0, max_retries=2
+        )
+        with pytest.raises(HTTPBackendError, match="injected transient fault"):
+            backend.execute(generation_request())
+        assert backend.injected_faults == 3  # every attempt faulted
+        assert sleeps == [0.25, 0.5]
+        assert stub.requests == []  # never reached the network
+
+    def test_different_seeds_differ(self, stub):
+        patterns = [
+            fault_pattern(make_backend(stub, fault_rate=0.5, fault_seed=seed), 10)
+            for seed in (1, 2)
+        ]
+        assert patterns[0] != patterns[1]
+
+
+class TestSchedulerSeam:
+    def test_continuous_queueing_under_occupancy_cap(self, stub, monkeypatch):
+        """The real backend rides the same engine: a cap splits the
+        queue and the excluded requests are charged their wait."""
+        monkeypatch.setenv("REPRO_SERVE_CAP", "2")
+        clock = SimClock()
+        metrics = MetricsCollector(workload="http", horizon=10)
+        scheduler = InferenceScheduler(clock, metrics, mode="continuous")
+        backend = make_backend(stub)
+        results = [
+            scheduler.submit(backend, decision_request(agent=f"a{index}"))
+            for index in range(4)
+        ]
+        assert clock.now == 0.0  # deferred, like any other backend
+        scheduler.flush(final=True)
+        assert metrics.serve_batches == 2
+        assert metrics.serve_batched_requests == 4
+        first_end = backend.deployment.batched_call_latency(
+            backend.profile,
+            [result.prompt_tokens for result in results[:2]],
+            [result.output_tokens for result in results[:2]],
+        )
+        assert metrics.serve_queue_seconds == pytest.approx(2 * first_end)
+        assert metrics.llm_calls == 4
+
+    def test_batched_mode_groups_http_requests(self, stub):
+        clock = SimClock()
+        metrics = MetricsCollector(workload="http", horizon=10)
+        scheduler = InferenceScheduler(clock, metrics, mode="batched")
+        backend = make_backend(stub)
+        for index in range(3):
+            scheduler.submit(backend, decision_request(agent=f"a{index}"))
+        scheduler.flush()
+        assert metrics.serve_batches == 1
+        assert metrics.serve_batched_requests == 3
+        assert clock.spans[-1].agent in ("batch", "a2")
+
+
+class TestOptions:
+    def test_from_env_requires_endpoint(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HTTP_ENDPOINT", raising=False)
+        with pytest.raises(ValueError, match="REPRO_HTTP_ENDPOINT"):
+            HTTPOptions.from_env()
+        assert backend_from_env() is None
+
+    def test_from_env_reads_all_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HTTP_ENDPOINT", "http://localhost:1/v1")
+        monkeypatch.setenv("REPRO_HTTP_MODEL", "m")
+        monkeypatch.setenv("REPRO_HTTP_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_HTTP_RETRIES", "5")
+        monkeypatch.setenv("REPRO_HTTP_BACKOFF", "0.1")
+        monkeypatch.setenv("REPRO_HTTP_BACKOFF_CAP", "4")
+        monkeypatch.setenv("REPRO_HTTP_FAULT_RATE", "0.25")
+        monkeypatch.setenv("REPRO_HTTP_FAULT_SEED", "9")
+        options = HTTPOptions.from_env()
+        assert options == HTTPOptions(
+            endpoint="http://localhost:1/v1",
+            model="m",
+            timeout_s=2.5,
+            max_retries=5,
+            backoff_base_s=0.1,
+            backoff_cap_s=4.0,
+            fault_rate=0.25,
+            fault_seed=9,
+        )
+        backend = backend_from_env()
+        assert backend is not None and backend.options == options
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            HTTPOptions(endpoint="")
+        with pytest.raises(ValueError):
+            HTTPOptions(endpoint="http://x", timeout_s=0.0)
+        with pytest.raises(ValueError):
+            HTTPOptions(endpoint="http://x", fault_rate=1.5)
+
+    def test_backoff_is_capped(self):
+        options = HTTPOptions(
+            endpoint="http://x", backoff_base_s=1.0, backoff_cap_s=3.0
+        )
+        assert [options.backoff(attempt) for attempt in range(4)] == [
+            1.0,
+            2.0,
+            3.0,
+            3.0,
+        ]

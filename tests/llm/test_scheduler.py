@@ -65,6 +65,10 @@ class TestMode:
         monkeypatch.setenv("REPRO_SERVE", " Batched ")
         assert serve_mode_from_env() == "batched"
 
+    def test_env_selects_continuous(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE", "continuous")
+        assert serve_mode_from_env() == "continuous"
+
     def test_env_rejects_unknown(self, monkeypatch):
         monkeypatch.setenv("REPRO_SERVE", "streamed")
         with pytest.raises(ValueError):
@@ -83,6 +87,29 @@ class TestMode:
         base = get_workload("combo").config
         assert resolve_serve_mode(base) == "percall"
         assert resolve_serve_mode(base.with_optimizations(batching=True)) == "batched"
+
+    def test_config_serve_mode_beats_batching_flag_and_env(self, monkeypatch):
+        from repro.llm.scheduler import resolve_serve_mode
+        from repro.workloads.registry import get_workload
+
+        monkeypatch.setenv("REPRO_SERVE", "batched")
+        base = get_workload("combo").config
+        pinned = base.with_optimizations(batching=True, serve_mode="continuous")
+        assert resolve_serve_mode(pinned) == "continuous"
+        assert (
+            resolve_serve_mode(base.with_optimizations(serve_mode="percall"))
+            == "percall"
+        )
+
+    def test_config_serve_mode_values_mirror_scheduler_modes(self):
+        """config.py inlines the mode names (import-cycle avoidance);
+        this pins the two lists together."""
+        from repro.core.config import OptimizationConfig
+
+        for mode in SERVE_MODES:
+            OptimizationConfig(serve_mode=mode)
+        with pytest.raises(ValueError):
+            OptimizationConfig(serve_mode="streamed")
 
 
 class TestPercall:
@@ -237,6 +264,161 @@ class TestBatched:
         )
         assert clock.now == pytest.approx(expected)
 
+class TestContinuous:
+    def test_phase_flush_defers_until_final(self):
+        clock, _metrics, scheduler, llm = make_parts(
+            "continuous", profile=compliant_profile()
+        )
+        scheduler.submit(llm, plan_request())
+        scheduler.flush()  # phase boundary: the engine keeps queueing
+        assert scheduler.pending == 1 and clock.now == 0.0
+        scheduler.flush(final=True)
+        assert scheduler.pending == 0 and clock.now > 0.0
+
+    def test_single_request_settles_like_percall(self):
+        per_clock, _m, per_sched, per_llm = make_parts("percall", seed=7)
+        per_sched.submit(per_llm, plan_request())
+        con_clock, metrics, con_sched, con_llm = make_parts("continuous", seed=7)
+        con_sched.submit(con_llm, plan_request())
+        con_sched.flush(final=True)
+        assert con_clock.now == pytest.approx(per_clock.now)
+        assert metrics.serve_batches == 1
+        assert metrics.serve_queue_seconds == 0.0
+        assert metrics.serve_request_seconds == pytest.approx(per_clock.now)
+
+    def test_outcomes_identical_across_modes(self):
+        _c, per_metrics, per_sched, per_llm = make_parts("percall", seed=11)
+        _c, con_metrics, con_sched, con_llm = make_parts("continuous", seed=11)
+        per_results = [
+            per_sched.submit(per_llm, plan_request(words=20 + 10 * i, agent=f"a{i}"))
+            for i in range(4)
+        ]
+        con_results = [
+            con_sched.submit(con_llm, plan_request(words=20 + 10 * i, agent=f"a{i}"))
+            for i in range(4)
+        ]
+        con_sched.flush(final=True)
+        for per, con in zip(per_results, con_results):
+            assert con.decision == per.decision
+        assert con_metrics.token_samples == per_metrics.token_samples
+        assert con_metrics.faults == per_metrics.faults
+
+    def test_cap_splits_the_queue_and_charges_wait(self, monkeypatch):
+        """Requests beyond the cap wait for the engine — and pay for it."""
+        monkeypatch.setenv("REPRO_SERVE_CAP", "2")
+        profile = compliant_profile()
+        clock, metrics, scheduler, llm = make_parts("continuous", profile=profile)
+        results = [
+            scheduler.submit(llm, plan_request(words=50, agent=f"a{i}"))
+            for i in range(4)
+        ]
+        scheduler.flush(final=True)
+        first_end = DeploymentOptions().batched_call_latency(
+            profile,
+            [result.prompt_tokens for result in results[:2]],
+            [result.output_tokens for result in results[:2]],
+        )
+        second_service = DeploymentOptions().batched_call_latency(
+            profile,
+            [result.prompt_tokens for result in results[2:]],
+            [result.output_tokens for result in results[2:]],
+        )
+        assert metrics.serve_batches == 2
+        assert metrics.serve_batched_requests == 4
+        # Both excluded requests arrived at 0 and waited out batch one.
+        assert metrics.serve_queue_seconds == pytest.approx(2 * first_end)
+        assert metrics.serve_inflight_joins == 0
+        assert clock.now == pytest.approx(first_end + second_service)
+
+    def test_late_arrival_joins_in_flight(self):
+        """A request arriving mid-batch takes a free slot immediately."""
+        profile = compliant_profile()
+        clock, metrics, scheduler, llm = make_parts("continuous", profile=profile)
+        first = scheduler.submit(llm, plan_request(words=50, agent="a0"))
+        clock.wait(0.5)  # engine is mid-batch when the next one arrives
+        second = scheduler.submit(llm, plan_request(words=50, agent="a1"))
+        scheduler.flush(final=True)
+        assert metrics.serve_batches == 1
+        assert metrics.serve_inflight_joins == 1
+        assert metrics.serve_queue_seconds == 0.0  # joins never queue
+        shared = DeploymentOptions().batched_call_latency(
+            profile,
+            [first.prompt_tokens, second.prompt_tokens],
+            [first.output_tokens, second.output_tokens],
+        )
+        floor = 0.5 + (
+            second.prompt_tokens / profile.prefill_tps
+            + second.output_tokens / profile.decode_tps
+        )
+        assert clock.now == pytest.approx(max(shared, floor))
+
+    def test_engine_stays_busy_across_flushes(self):
+        """The busy-until horizon persists: a backdated arrival queues
+        behind the previous step's still-running batch."""
+        profile = compliant_profile()
+        clock, metrics, scheduler, llm = make_parts("continuous", profile=profile)
+        scheduler.submit(llm, plan_request(words=50, agent="a0"))
+        scheduler.flush(final=True)
+        engine_free = clock.now
+        assert list(scheduler._engine_free.values()) == [pytest.approx(engine_free)]
+        with clock.overlapped(0.0):  # submit as-of an earlier instant
+            scheduler.submit(llm, plan_request(words=50, agent="a1"))
+        scheduler.flush(final=True)
+        # Arrived at 0, admitted only when the engine freed up.
+        assert metrics.serve_queue_seconds == pytest.approx(engine_free)
+
+    def test_straggler_delays_its_own_completion_only(self):
+        flaky = compliant_profile().with_(name="flaky", format_compliance=0.05)
+        clock, metrics, scheduler, llm = make_parts("continuous", seed=2, profile=flaky)
+        results = [
+            scheduler.submit(llm, plan_request(words=50, agent=f"a{i}"))
+            for i in range(4)
+        ]
+        assert any(result.rounds > 1 for result in results)
+        scheduler.flush(final=True)
+        end = DeploymentOptions().batched_call_latency(
+            flaky,
+            [result.prompt_tokens for result in results],
+            [result.output_tokens for result in results],
+        )
+        extras = [
+            (result.rounds - 1)
+            * flaky.call_latency(result.prompt_tokens, result.output_tokens)
+            for result in results
+        ]
+        # The engine freed at the shared end; only the straggling
+        # requests' completions (and the clock front) moved past it.
+        assert list(scheduler._engine_free.values()) == [pytest.approx(end)]
+        assert clock.now == pytest.approx(end + max(extras))
+        assert metrics.serve_request_seconds == pytest.approx(
+            sum(end + extra for extra in extras)
+        )
+
+    def test_sequential_requests_charge_percall(self):
+        import dataclasses
+
+        clock, metrics, scheduler, llm = make_parts(
+            "continuous", profile=compliant_profile()
+        )
+        request = dataclasses.replace(plan_request(), sequential=True)
+        result = scheduler.submit(llm, request)
+        assert scheduler.pending == 0
+        assert clock.now == result.latency
+        scheduler.flush(final=True)
+        assert metrics.serve_batches == 0
+
+    def test_engines_key_on_profile_and_deployment_only(self):
+        """Unlike batched groups, phases and purposes share an engine."""
+        profile = compliant_profile()
+        _clock, metrics, scheduler, llm = make_parts("continuous", profile=profile)
+        scheduler.submit(llm, plan_request(agent="a0", phase="plan"))
+        scheduler.submit(llm, plan_request(agent="a1", phase="replan"))
+        scheduler.flush(final=True)
+        assert metrics.serve_batches == 1
+        assert metrics.serve_batched_requests == 2
+
+
+class TestBatchedStragglers:
     def test_retries_charge_straggler_rounds(self):
         """A retried request pays its extra rounds on top of the batch."""
         flaky = compliant_profile().with_(name="flaky", format_compliance=0.05)
