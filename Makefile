@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath bench-comm bench-serving bench-all lint format suite docs-check
+.PHONY: test bench bench-hotpath bench-comm bench-planning bench-serving bench-all lint format suite docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +28,14 @@ bench-comm:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
 		$(PYTHON) -m pytest benchmarks/bench_comm.py -x -q -s
 
+# Planning-kernel microbenchmark (scoreboard scoring + prompt assembly,
+# hot-path phase 4) on an episode-shaped synthetic driver, with the
+# identical-outcome asserts and the >20%-regression gate against
+# benchmarks/baselines/BENCH_planning.json.  Emits BENCH_planning.json.
+bench-planning:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
+		$(PYTHON) -m pytest benchmarks/bench_planning.py -x -q -s
+
 # Batched-serving modeled-latency gate (inference scheduler, Rec. 1):
 # outcome invariance plus the >20%-regression gate against
 # benchmarks/baselines/BENCH_serving.json.  Emits BENCH_serving.json.
@@ -35,8 +43,8 @@ bench-serving:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
 		$(PYTHON) -m pytest benchmarks/bench_serving.py -x -q -s
 
-# The three gated benchmarks CI runs, in one target.
-bench-all: bench-hotpath bench-comm bench-serving
+# The four gated benchmarks CI runs, in one target.
+bench-all: bench-hotpath bench-comm bench-planning bench-serving
 
 lint:
 	ruff check .

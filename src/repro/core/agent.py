@@ -185,7 +185,11 @@ class EmbodiedAgent:
             task_text=env.describe_task(),
             difficulty=env.task.difficulty,
         )
-        self.sensing = SensingModule(self.context, config.sensing_model)
+        self.sensing = SensingModule(
+            self.context,
+            config.sensing_model,
+            detector_mode=config.optimizations.detector_mode,
+        )
         self.memory: MemoryModule | None = None
         if config.memory is not None:
             self.memory = MemoryModule(

@@ -39,16 +39,18 @@ class Beliefs:
         fresher knowledge.
         """
         novel = 0
+        slots = self._slots
+        get = slots.get
         for fact in facts:
-            key = fact.key()
-            existing = self._slots.get(key)
+            key = (fact.subject, fact.relation)
+            existing = get(key)
             if existing is None:
                 novel += 1
-                self._slots[key] = fact
+                slots[key] = fact
             elif fact.step >= existing.step:
                 if existing.value != fact.value:
                     novel += 1
-                self._slots[key] = fact
+                slots[key] = fact
         return novel
 
     def update_batch(self, chunks: Iterable[Iterable[Fact]]) -> list[int]:
@@ -91,7 +93,9 @@ class Beliefs:
         bookkeeping (bulk callers don't read it), letting the merge run as
         one C-level dict update on the hot path.
         """
-        self._slots.update((fact.key(), fact) for fact in facts)
+        self._slots.update(
+            [((fact.subject, fact.relation), fact) for fact in facts]
+        )
 
     def value(self, subject: str, relation: str) -> str | None:
         fact = self._slots.get((subject, relation))

@@ -54,6 +54,12 @@ class ModuleName(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
+    # Members are singletons and enum equality is identity, so identity
+    # hashing is semantically equivalent to ``Enum.__hash__`` (which
+    # re-hashes the member *name* string on every call) — and members key
+    # every per-span accounting dict on the episode hot loop.
+    __hash__ = object.__hash__
+
 
 #: Canonical ordering used by reports, matching Fig. 2's legend order.
 MODULE_ORDER: tuple[ModuleName, ...] = (
@@ -272,11 +278,21 @@ class SimClock:
             raise ValueError(f"duration must be non-negative, got {duration}")
         if self._coarse:
             span = None
+            # In-place += with a KeyError fallback: the accumulator keys
+            # (a handful of modules/phases) are hit tens of thousands of
+            # times, so the steady state is one dict indexing operation
+            # instead of a get-then-store pair.
             totals = self._module_seconds
-            totals[module] = totals.get(module, 0.0) + duration
+            try:
+                totals[module] += duration
+            except KeyError:
+                totals[module] = duration
             phases = self._phase_seconds
             key = (module, phase)
-            phases[key] = phases.get(key, 0.0) + duration
+            try:
+                phases[key] += duration
+            except KeyError:
+                phases[key] = duration
         else:
             span = Span(
                 module=module,
@@ -329,10 +345,16 @@ class SimClock:
         if self._coarse:
             span = None
             totals = self._module_seconds
-            totals[module] = totals.get(module, 0.0) + duration
+            try:
+                totals[module] += duration
+            except KeyError:
+                totals[module] = duration
             phases = self._phase_seconds
             key = (module, phase)
-            phases[key] = phases.get(key, 0.0) + duration
+            try:
+                phases[key] += duration
+            except KeyError:
+                phases[key] = duration
         else:
             span = Span(
                 module=module,

@@ -59,6 +59,11 @@ class OptimizationConfig:
       (``percall`` / ``batched`` / ``continuous``); empty defers to the
       ``batching`` flag and the process-wide ``REPRO_SERVE`` knob.  The
       per-cell control the serving grids use to mix modes in one run.
+    - ``detector_mode``: pin this system's noisy detector implementation
+      (``loop`` seed-faithful / ``vector`` batched draws, same draw
+      counts, reordered stream); empty defers to the process-wide
+      ``REPRO_DETECTOR`` knob.  See docs/performance.md for the
+      byte-identity waiver ``vector`` carries.
     """
 
     multistep_horizon: int = 1
@@ -69,6 +74,7 @@ class OptimizationConfig:
     quantization: str = ""
     runtime: str = ""
     serve_mode: str = ""
+    detector_mode: str = ""
 
     def __post_init__(self) -> None:
         if self.multistep_horizon < 1:
@@ -85,6 +91,14 @@ class OptimizationConfig:
             raise ValueError(
                 f"serve_mode must be '', 'percall', 'batched', or "
                 f"'continuous': {self.serve_mode!r}"
+            )
+        # Values mirror ``repro.perception.detector.DETECTOR_MODES`` (kept
+        # inline to avoid a config -> perception import cycle; pinned by a
+        # test).
+        if self.detector_mode not in ("", "loop", "vector"):
+            raise ValueError(
+                f"detector_mode must be '', 'loop', or 'vector': "
+                f"{self.detector_mode!r}"
             )
 
 

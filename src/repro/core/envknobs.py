@@ -9,7 +9,7 @@ Adopters: ``REPRO_TRIALS`` / ``REPRO_WORKERS`` / ``REPRO_SERVE_CAP`` /
 ``REPRO_HTTP_RETRIES`` (:func:`int_knob`, via ``experiments/common.py``
 and the serving layer), ``REPRO_HOTPATH`` / ``REPRO_SUITE_CONCURRENT`` /
 ``REPRO_OVERLAP`` (:func:`bool_knob`), ``REPRO_CLOCK`` / ``REPRO_SERVE``
-(:func:`choice_knob`), ``REPRO_HTTP_TIMEOUT`` / ``REPRO_HTTP_BACKOFF`` /
+/ ``REPRO_DETECTOR`` (:func:`choice_knob`), ``REPRO_HTTP_TIMEOUT`` / ``REPRO_HTTP_BACKOFF`` /
 ``REPRO_HTTP_FAULT_RATE`` (:func:`float_knob`).  The knob table with
 defaults and precedence rules lives in docs/performance.md and the
 serving-specific knobs in docs/serving.md.

@@ -104,8 +104,9 @@ class CommunicationModule:
         identifies; knowledge transfer is what makes a message useful.
         """
         del intent  # kept in the signature for custom filter subclasses
+        last_shared = self._last_shared
         for fact in payload:
-            if self._last_shared.get(fact.key()) != fact.value:
+            if last_shared.get((fact.subject, fact.relation)) != fact.value:
                 return False
         return True
 
@@ -133,7 +134,7 @@ class CommunicationModule:
         prompt = (
             PromptBuilder(COMMUNICATOR_SYSTEM_TEXT)
             .memory(payload)
-            .dialogue(dialogue)
+            .dialogue(dialogue, window_key=self.context.agent)
             .static_extra(
                 "instruction",
                 "Compose a short update for your teammates about what you "
@@ -153,8 +154,9 @@ class CommunicationModule:
                 step=step,
             ),
         )
+        last_shared = self._last_shared
         for fact in payload:
-            self._last_shared[fact.key()] = fact.value
+            last_shared[(fact.subject, fact.relation)] = fact.value
         return Message(
             sender=self.context.agent,
             recipients=recipients,

@@ -122,6 +122,10 @@ class MemoryModule:
         #: ties in insertion order — the last entry is the newest-wins
         #: resolution candidate for its slot.
         self._slot_history: dict[tuple[str, str], list[Fact]] = {}
+        #: The history's keys kept in sorted order (maintained by insort
+        #: on first sight, removal on :meth:`forget`), so newest-wins
+        #: resolution emits its sorted output without a per-retrieve sort.
+        self._sorted_slot_keys: list[tuple[str, str]] = []
         #: #observations per fact step, for O(1) window-size accounting.
         self._obs_step_counts: Counter[int] = Counter()
         #: Window-eviction accumulator: #observations with step below
@@ -147,8 +151,7 @@ class MemoryModule:
     def store_observation(self, facts: tuple[Fact, ...]) -> None:
         self._observations.extend(facts)
         if self._fast:
-            for fact in facts:
-                self._index_fact(fact)
+            self._index_facts(facts)
         self._slot_index.update(facts)
         self._charge(STORE_SECONDS, "store_observation")
 
@@ -169,8 +172,7 @@ class MemoryModule:
             if self._dialogue_steps and message.step < self._dialogue_steps[-1]:
                 self._steps_sorted = False
             self._dialogue_steps.append(message.step)
-            for fact in message.facts:
-                self._index_fact(fact)
+            self._index_facts(message.facts)
         self._charge(STORE_SECONDS, "store_dialogue")
         return novel
 
@@ -216,26 +218,46 @@ class MemoryModule:
                 if dialogue_steps and message.step < dialogue_steps[-1]:
                     self._steps_sorted = False
                 dialogue_steps.append(message.step)
-                for fact in message.facts:
-                    self._index_fact(fact)
+                self._index_facts(message.facts)
 
     def _index_fact(self, fact: Fact) -> None:
         """Maintain the slot-history and step-count indices for one fact."""
-        self._obs_step_counts[fact.step] += 1
-        if fact.step < self._evict_start:
-            self._evicted_obs += 1
-        key = (fact.subject, fact.relation)
-        entries = self._slot_history.get(key)
-        if entries is None:
-            self._slot_history[key] = [fact]
-        elif fact.step >= entries[-1].step:
-            # The common case: first-hand observations arrive in step order.
-            entries.append(fact)
-        else:
-            # Message facts can carry older provenance; keep the list
-            # sorted by step with ties in insertion order (insort-right
-            # matches the stable sort of the reference implementation).
-            insort(entries, fact, key=_FACT_STEP)
+        self._index_facts((fact,))
+
+    def _index_facts(self, facts) -> None:
+        """Index a batch of facts with the table lookups bound once.
+
+        Fact batches arrive one frame (or one message payload) at a time,
+        so binding the index tables per batch instead of per fact removes
+        most of the attribute traffic of the per-fact form.
+        """
+        step_counts = self._obs_step_counts
+        evict_start = self._evict_start
+        history = self._slot_history
+        get = history.get
+        sorted_keys = self._sorted_slot_keys
+        evicted = 0
+        for fact in facts:
+            step = fact.step
+            step_counts[step] += 1
+            if step < evict_start:
+                evicted += 1
+            key = (fact.subject, fact.relation)
+            entries = get(key)
+            if entries is None:
+                history[key] = [fact]
+                insort(sorted_keys, key)
+            elif step >= entries[-1].step:
+                # The common case: first-hand observations arrive in step
+                # order.
+                entries.append(fact)
+            else:
+                # Message facts can carry older provenance; keep the list
+                # sorted by step with ties in insertion order (insort-right
+                # matches the stable sort of the reference implementation).
+                insort(entries, fact, key=_FACT_STEP)
+        if evicted:
+            self._evicted_obs += evicted
 
     # ------------------------------------------------------------------ #
     # Retrieval
@@ -338,14 +360,18 @@ class MemoryModule:
 
         A slot's newest fact overall is also its newest *in-window* fact
         whenever it is in the window at all (the window is a suffix of the
-        step axis), so resolution never touches older entries.
+        step axis), so resolution never touches older entries.  Walking
+        the sorted key mirror emits the facts already in the reference
+        path's ``(subject, relation)`` output order (slot keys are
+        unique, so sortedness alone pins the order).
         """
-        resolved = [
-            entries[-1]
-            for entries in self._slot_history.values()
-            if entries[-1].step >= start
-        ]
-        resolved.sort(key=lambda fact: (fact.subject, fact.relation))
+        history = self._slot_history
+        resolved = []
+        append = resolved.append
+        for key in self._sorted_slot_keys:
+            fact = history[key][-1]
+            if fact.step >= start:
+                append(fact)
         return resolved
 
     def _resolve_slots(self, observations: list[Fact], confused: bool) -> list[Fact]:
@@ -418,7 +444,9 @@ class MemoryModule:
                     self._obs_step_counts[fact.step] -= 1
                     if fact.step < self._evict_start:
                         self._evicted_obs -= 1
-            self._slot_history.pop(key, None)
+            if self._slot_history.pop(key, None) is not None:
+                index = bisect_left(self._sorted_slot_keys, key)
+                del self._sorted_slot_keys[index]
         self._observations = [
             fact for fact in self._observations if fact.key() != key
         ]

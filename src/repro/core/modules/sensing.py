@@ -14,6 +14,12 @@ the detector itself consumes the identical rng stream either way (see
 :mod:`repro.perception.detector`).  Environments with a dynamic location
 vocabulary must not rely on the hot path, which is the documented
 contract of the staging.
+
+Detector mode: the module captures its detector implementation at
+construction — an explicit ``detector_mode`` from the system config wins
+over the process-wide ``REPRO_DETECTOR`` knob (``loop`` default /
+``vector`` batched draws; see :mod:`repro.perception.detector` for the
+draw-count contract and byte-identity waiver).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.core.clock import ModuleName
 from repro.core.modules.base import ModuleContext
 from repro.core.types import Fact, Observation
 from repro.envs.base import Environment
+from repro.perception import detector
 from repro.perception.detector import detect
 from repro.perception.models import PerceptionProfile, get_perception
 
@@ -33,13 +40,22 @@ SYMBOLIC_FEED_SECONDS = 0.002
 class SensingModule:
     """Perceive the environment through a (possibly absent) vision model."""
 
-    def __init__(self, context: ModuleContext, model: str | None) -> None:
+    def __init__(
+        self,
+        context: ModuleContext,
+        model: str | None,
+        detector_mode: str = "",
+    ) -> None:
         self.context = context
         self.profile: PerceptionProfile | None = (
             get_perception(model) if model is not None else None
         )
         self._fast = hotpath.enabled()
         self._distractors: list[str] | None = None
+        # Detector mode is episode-static, like the hotpath flag: an
+        # explicit config value wins, else the process-wide REPRO_DETECTOR
+        # knob captured at construction (toggling mid-episode is inert).
+        self.detector_mode = detector_mode or detector.mode()
 
     def _distractor_values(self, env: Environment) -> list[str]:
         """Mislabel vocabulary, fetched once per episode on the hot path."""
@@ -67,6 +83,7 @@ class SensingModule:
             self.profile,
             self.context.rng,
             distractor_values=self._distractor_values(env),
+            mode=self.detector_mode,
         )
         self.context.clock.advance(
             result.latency,

@@ -97,7 +97,7 @@ class CentralizedLoop(ParadigmLoop):
         )
         builder.observation(central_bundle.observation)
         builder.memory(central_bundle.memory_facts)
-        builder.dialogue(central_bundle.dialogue)
+        builder.dialogue(central_bundle.dialogue, window_key=self.central.name)
         for name, candidates in candidates_by_agent.items():
             builder.candidates(candidates)
             builder.static_extra("agent_header", f"Options above are for {name}.")
@@ -242,10 +242,17 @@ def filter_assigned(
     if deduplication would leave nothing, the original list survives so
     the agent still acts.
     """
+    if not assigned:
+        return candidates
     filtered = [
         candidate
         for candidate in candidates
         if not candidate.subgoal.target
         or (candidate.subgoal.name, candidate.subgoal.target) not in assigned
     ]
+    if len(filtered) == len(candidates):
+        # Nothing dropped: hand back the caller's sequence unchanged so
+        # identity-keyed caches (candidate features, scoreboards, rendered
+        # sections) keep hitting across the joint plan's per-agent draws.
+        return candidates
     return filtered or candidates

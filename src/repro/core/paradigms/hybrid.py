@@ -94,7 +94,7 @@ class HybridLoop(CentralizedLoop):
             task_text=self.central.planner.task_text,
         )
         builder.observation(central_bundle.observation)
-        builder.dialogue(central_bundle.dialogue)
+        builder.dialogue(central_bundle.dialogue, window_key=self.central.name)
         for name, candidates in candidates_by_agent.items():
             builder.candidates(candidates)
             builder.static_extra("agent_header", f"Options above are for {name}.")

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core import hotpath
 from repro.core.errors import FaultKind
 from repro.core.types import Candidate, Subgoal
+from repro.envs.candidates import FAULT_CODES, FAULT_NONE, candidate_features
 
 #: Per-extra-agent multiplicative penalty for jointly planning N agents.
 COORDINATION_PENALTY = 0.94
@@ -84,84 +85,132 @@ class DecisionOutcome:
     p_correct: float
 
 
+#: Integer code of a hallucinated / stale-memory candidate in the
+#: vectorized fault-code column (see ``envs/candidates.py: FAULT_CODES``).
+_HALLUCINATION_CODE = FAULT_CODES[FaultKind.HALLUCINATION]
+_STALE_CODE = FAULT_CODES[FaultKind.STALE_MEMORY]
+
+
 class _Scoreboard:
     """Cached pure analysis ("scores") of one candidate set.
 
-    Everything a decision consults that does not touch the RNG: the clean
-    subset in seed order, the top utility tie group (the only candidates
-    a correct pick can return — effectively the top-k the selection is
-    pruned to, with ties kept in enumeration order so the tie-break draw
-    is seed-identical), and the per-fault candidate pools with their
-    exact seed insertion order.  A scoreboard is a pure function of
+    Everything a decision consults that does not touch the RNG, computed
+    as one numpy pass over the candidate tuple's feature columns
+    (:func:`repro.envs.candidates.candidate_features`): the clean subset,
+    the top utility tie group (the only candidates a correct pick can
+    return), and the per-fault candidate pools, all held as index arrays
+    into the candidate tuple in seed enumeration order — boolean masks
+    and ``np.flatnonzero`` preserve position order, so the tie-break and
+    pool draws stay seed-identical.  A scoreboard is a pure function of
     ``(candidates, blacklist, has_stale_facts)``; the kernel reuses it
     across steps whenever the environment's candidate cache hands back
     the identical candidate tuple, so unchanged candidates keep their
     scores and only changed sets are re-scored.
 
-    The constructor deliberately *mirrors* — rather than calls — the seed
-    helpers on :class:`BehaviorKernel` (``_clean_candidates``, the tie
-    computation in ``_best_choice``, ``_available_faults``).  The copies
-    stay independent so the golden equivalence suite compares two
-    genuinely separate implementations: a bug edited into either copy
-    alone fails ``tests/core/test_hotpath_equivalence.py`` instead of
-    silently shifting both paths together.  Change them in lockstep.
+    This vectorized constructor deliberately *mirrors* — rather than
+    calls — the seed helpers on :class:`BehaviorKernel`
+    (``_clean_candidates``, the tie computation in ``_best_choice``,
+    ``_available_faults``).  The implementations stay independent so the
+    golden equivalence suite compares two genuinely separate scoring
+    paths: a bug edited into either alone fails
+    ``tests/core/test_hotpath_equivalence.py`` (and the direct pool
+    comparison in ``tests/llm/test_behavior.py``) instead of silently
+    shifting both paths together.  Change them in lockstep.
     """
 
-    __slots__ = ("clean", "pool", "best_utility", "ties", "complexity", "available")
+    __slots__ = (
+        "candidates",
+        "clean",
+        "best_index",
+        "ties",
+        "complexity",
+        "_features",
+        "_blacklisted",
+        "_has_stale",
+        "_fault_state",
+    )
 
     def __init__(self, request: "DecisionRequest") -> None:
+        candidates = request.candidates
+        self.candidates = candidates
+        features = candidate_features(candidates)
+        no_fault = features.fault_codes == FAULT_NONE
         blacklist = request.blacklist
-        self.clean: list[Candidate] = [
-            candidate
-            for candidate in request.candidates
-            if candidate.feasible
-            and candidate.fault is None
-            and candidate.subgoal not in blacklist
-        ]
-        self.pool: Sequence[Candidate] = self.clean or list(request.candidates)
-        self.best_utility: float = max(candidate.utility for candidate in self.pool)
-        self.ties: list[Candidate] = [
-            candidate
-            for candidate in self.pool
-            if candidate.utility >= self.best_utility - 1e-9
-        ]
-        self.complexity: float = min(1.0, len(self.clean) / 4.0)
-        best = self.ties[0]
-        available: dict[FaultKind, list[Candidate]] = {}
-        suboptimal = [
-            candidate for candidate in self.clean if candidate.utility < best.utility
-        ]
-        if suboptimal:
+        if blacklist:
+            blacklisted = np.fromiter(
+                (subgoal in blacklist for subgoal in features.subgoals),
+                dtype=bool,
+                count=len(candidates),
+            )
+            clean = np.flatnonzero(features.feasible & no_fault & ~blacklisted)
+        else:
+            blacklisted = None
+            clean = np.flatnonzero(features.feasible & no_fault)
+        self.clean: np.ndarray = clean
+        pool = clean if clean.size else np.arange(len(candidates))
+        pool_utilities = features.utilities[pool]
+        best_utility = pool_utilities.max()
+        self.ties: np.ndarray = pool[pool_utilities >= best_utility - 1e-9]
+        self.complexity: float = min(1.0, clean.size / 4.0)
+        self.best_index = int(self.ties[0])
+        # Fault pools are built lazily: roughly half the scoreboards only
+        # ever serve correct picks, and those never consult the pools.
+        self._features = features
+        self._blacklisted = blacklisted
+        self._has_stale = request.has_stale_facts
+        self._fault_state: (
+            tuple[tuple[FaultKind, ...], np.ndarray | None, dict] | None
+        ) = None
+
+    def fault_state(
+        self,
+    ) -> tuple[tuple[FaultKind, ...], np.ndarray | None, dict[FaultKind, np.ndarray]]:
+        """``(kinds, cdf, pools)`` for the fault draw, built on first use.
+
+        ``cdf`` replicates ``rng.choice(len(kinds), p=weights)`` exactly:
+        ``Generator.choice`` normalizes ``p`` into a cumulative table and
+        inverts one uniform draw via right-bisection, so caching the same
+        table and calling ``cdf.searchsorted(rng.random(), side="right")``
+        consumes the identical stream and returns the identical kind
+        (asserted against ``rng.choice`` in ``tests/llm/test_behavior.py``).
+        """
+        state = self._fault_state
+        if state is not None:
+            return state
+        features = self._features
+        utilities = features.utilities
+        no_fault = features.fault_codes == FAULT_NONE
+        clean = self.clean
+        available: dict[FaultKind, np.ndarray] = {}
+        suboptimal = clean[utilities[clean] < utilities[self.best_index]]
+        if suboptimal.size:
             available[FaultKind.SUBOPTIMAL] = suboptimal
-        infeasible = [
-            candidate
-            for candidate in request.candidates
-            if not candidate.feasible and candidate.fault is None
-        ]
-        if infeasible:
+        infeasible = np.flatnonzero(~features.feasible & no_fault)
+        if infeasible.size:
             available[FaultKind.INFEASIBLE] = infeasible
-        hallucinated = [
-            candidate
-            for candidate in request.candidates
-            if candidate.fault is FaultKind.HALLUCINATION
-        ]
-        if hallucinated:
+        hallucinated = np.flatnonzero(features.fault_codes == _HALLUCINATION_CODE)
+        if hallucinated.size:
             available[FaultKind.HALLUCINATION] = hallucinated
-        repeated = [
-            candidate
-            for candidate in request.candidates
-            if candidate.subgoal in blacklist
-        ]
-        if repeated:
-            available[FaultKind.REPEATED] = repeated
-        if request.has_stale_facts:
-            stale = [
-                candidate
-                for candidate in request.candidates
-                if candidate.fault is FaultKind.STALE_MEMORY
-            ]
-            available[FaultKind.STALE_MEMORY] = stale or [best]
-        self.available = available
+        if self._blacklisted is not None:
+            repeated = np.flatnonzero(self._blacklisted)
+            if repeated.size:
+                available[FaultKind.REPEATED] = repeated
+        if self._has_stale:
+            stale = np.flatnonzero(features.fault_codes == _STALE_CODE)
+            available[FaultKind.STALE_MEMORY] = (
+                stale if stale.size else np.array([self.best_index])
+            )
+        kinds = tuple(available)
+        if kinds:
+            weights = np.array([FAULT_WEIGHTS[kind] for kind in kinds], dtype=float)
+            weights /= weights.sum()
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+        else:
+            cdf = None
+        state = (kinds, cdf, available)
+        self._fault_state = state
+        return state
 
 
 #: Scoreboards kept per kernel.  Decisions alternate between at most a
@@ -264,12 +313,12 @@ class BehaviorKernel:
             )
         if rng.random() < p_correct:
             return DecisionOutcome(
-                candidate=self._best_choice(request, rng),
+                candidate=self._best_choice(request, rng, board),
                 fault=None,
                 retries=retries,
                 p_correct=p_correct,
             )
-        fault, candidate = self._faulty_choice(request, rng)
+        fault, candidate = self._faulty_choice(request, rng, board)
         return DecisionOutcome(
             candidate=candidate, fault=fault, retries=retries, p_correct=p_correct
         )
@@ -290,7 +339,10 @@ class BehaviorKernel:
         ]
 
     def _best_choice(
-        self, request: DecisionRequest, rng: np.random.Generator | None = None
+        self,
+        request: DecisionRequest,
+        rng: np.random.Generator | None = None,
+        board: _Scoreboard | None = None,
     ) -> Candidate:
         """Highest-utility clean candidate, breaking ties randomly.
 
@@ -298,18 +350,21 @@ class BehaviorKernel:
         identical candidate sets must decorrelate (sampling temperature in
         the real systems), or they all chase the same object every step.
         """
-        board = self._scoreboard(request)
+        if board is None:
+            board = self._scoreboard(request)
         if board is not None:
             ties = board.ties
-        else:
-            clean = self._clean_candidates(request)
-            pool = clean or list(request.candidates)
-            best_utility = max(candidate.utility for candidate in pool)
-            ties = [
-                candidate
-                for candidate in pool
-                if candidate.utility >= best_utility - 1e-9
-            ]
+            if rng is None or ties.size == 1:
+                return request.candidates[board.best_index]
+            return request.candidates[int(ties[int(rng.integers(ties.size))])]
+        clean = self._clean_candidates(request)
+        pool = clean or list(request.candidates)
+        best_utility = max(candidate.utility for candidate in pool)
+        ties = [
+            candidate
+            for candidate in pool
+            if candidate.utility >= best_utility - 1e-9
+        ]
         if rng is None or len(ties) == 1:
             return ties[0]
         return ties[int(rng.integers(len(ties)))]
@@ -364,10 +419,26 @@ class BehaviorKernel:
         return available
 
     def _faulty_choice(
-        self, request: DecisionRequest, rng: np.random.Generator
+        self,
+        request: DecisionRequest,
+        rng: np.random.Generator,
+        board: _Scoreboard | None = None,
     ) -> tuple[FaultKind, Candidate]:
-        board = self._scoreboard(request)
-        available = board.available if board is not None else self._available_faults(request)
+        if board is None:
+            board = self._scoreboard(request)
+        if board is not None:
+            kinds, cdf, available = board.fault_state()
+            if not kinds:
+                # Nothing wrong is expressible (e.g. a single obvious
+                # option): the model simply succeeds.
+                return (None, self._best_choice(request, rng, board))  # type: ignore[return-value]
+            # Stream-identical inversion of ``rng.choice(len(kinds),
+            # p=weights)`` — see ``_Scoreboard.fault_state``.
+            kind = kinds[int(cdf.searchsorted(rng.random(), side="right"))]
+            pool = available[kind]
+            index = int(pool[int(rng.integers(pool.size))])
+            return kind, request.candidates[index]
+        available = self._available_faults(request)
         if not available:
             # Nothing wrong is expressible (e.g. a single obvious option):
             # the model simply succeeds.

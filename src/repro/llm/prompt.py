@@ -29,6 +29,7 @@ from typing import Sequence
 
 from repro.core import hotpath
 from repro.core.types import Candidate, Fact, Message, Observation
+from repro.envs.candidates import candidate_features
 from repro.llm.tokenizer import count_tokens
 
 
@@ -121,24 +122,26 @@ class Prompt:
 #: truncation, as the benchmarked systems do).
 MAX_DIALOGUE_MESSAGES = 40
 
-#: Candidate-line scaffolding, grown on demand: ``"(i) "`` prefixes and
-#: their token costs — "(" and ")" are one token each plus one per index
-#: digit — so enumeration never re-formats or re-counts per step.
+#: Candidate-line scaffolding, grown on demand: ``"(i) "`` prefixes, their
+#: token costs — "(" and ")" are one token each plus one per index digit —
+#: and the running cumulative cost (``cumulative[n]`` is the total index
+#: overhead of enumerating ``n`` candidates), so enumeration never
+#: re-formats, re-counts, or even re-sums per step.
 #: Published as ONE tuple global so growth is a single atomic store: the
 #: suite's ``--concurrent-sections`` mode runs episodes on threads of one
-#: process, and a reader must always see a matched, fully built pair.
-_INDEX_SCAFFOLD: tuple[list[str], list[int]] = ([], [])
+#: process, and a reader must always see a matched, fully built triple.
+_INDEX_SCAFFOLD: tuple[list[str], list[int], list[int]] = ([], [], [0])
 _INDEX_LOCK = threading.Lock()
 
 
-def _index_scaffold(upto: int) -> tuple[list[str], list[int]]:
-    """Prefix/token tables covering at least ``upto`` candidate indices."""
+def _index_scaffold(upto: int) -> tuple[list[str], list[int], list[int]]:
+    """Prefix/token/cumulative tables covering ``upto`` candidate indices."""
     global _INDEX_SCAFFOLD
-    prefixes, tokens = _INDEX_SCAFFOLD
+    prefixes, tokens, cumulative = _INDEX_SCAFFOLD
     if upto <= len(prefixes):
-        return prefixes, tokens
+        return prefixes, tokens, cumulative
     with _INDEX_LOCK:
-        prefixes, tokens = _INDEX_SCAFFOLD
+        prefixes, tokens, cumulative = _INDEX_SCAFFOLD
         if upto > len(prefixes):
             prefixes = prefixes + [
                 f"({index}) " for index in range(len(prefixes), upto)
@@ -146,8 +149,11 @@ def _index_scaffold(upto: int) -> tuple[list[str], list[int]]:
             tokens = tokens + [
                 2 + len(str(index)) for index in range(len(tokens), upto)
             ]
-            _INDEX_SCAFFOLD = (prefixes, tokens)
-        return prefixes, tokens
+            cumulative = list(cumulative)
+            for cost in tokens[len(cumulative) - 1 :]:
+                cumulative.append(cumulative[-1] + cost)
+            _INDEX_SCAFFOLD = (prefixes, tokens, cumulative)
+        return prefixes, tokens, cumulative
 
 
 class _IdentitySectionMemo:
@@ -186,50 +192,174 @@ class _IdentitySectionMemo:
 
 _CANDIDATE_SECTIONS = _IdentitySectionMemo()
 
+#: Rendered memory sections keyed by payload-tuple identity (the staged
+#: per-step communication payloads re-enter every dialogue round).
+_MEMORY_SECTIONS = _IdentitySectionMemo()
 
-class _WindowSectionMemo:
-    """Bounded memo: dialogue window (by message identity) -> section.
 
-    The key is the tuple of the window's message ids; each entry pins the
-    message objects themselves, so while an entry lives its ids cannot be
-    recycled — an id-tuple match therefore guarantees object identity,
-    and rendered text/token counts are pure functions of those objects.
-    Windows recur a lot on the step-batched delivery path: quiet steps
-    retrieve the very same message objects again, a centralized broadcast
-    re-renders the window its joint plan just used, and planner prompts
-    re-render the window the last compose of the step built.
+def _described_section(name: str, items) -> PromptSection:
+    """Render a period-terminated ``describe()`` section (fast path).
 
-    Unlike ``_IdentitySectionMemo`` the read path is lock-free: a plain
-    dict ``get`` is atomic under the GIL, entries are immutable tuples,
-    and a racing writer can only make a reader miss (rebuild the same
-    pure value), never observe a torn entry.  Writers serialize on a lock
-    and clear the map outright at capacity — windows churn steadily, so
-    LRU precision buys nothing over wholesale eviction.
+    Each item carries a ``_pdot`` instance memo — its period-terminated
+    rendering paired with the token count of the bare text — so the
+    steady state is one dict read per item with no method calls or
+    string concatenation.  The memo composes the ``_described`` /
+    ``_ptokens`` memos (:func:`repro.core.types._memo_describe`,
+    :func:`_piece_tokens`), which stay authoritative for callers that
+    need the undotted form.  Token count is additive: each piece plus
+    one token for its terminating period.
+    """
+    parts: list[str] = []
+    append = parts.append
+    setattr_ = object.__setattr__
+    tokens = 0
+    for item in items:
+        memo = item.__dict__
+        entry = memo.get("_pdot")
+        if entry is None:
+            part = memo.get("_described")
+            if part is None:
+                part = item.describe()
+            count = memo.get("_ptokens")
+            if count is None:
+                count = count_tokens(part)
+                setattr_(item, "_ptokens", count)
+            entry = (part + ".", count)
+            setattr_(item, "_pdot", entry)
+        append(entry[0])
+        tokens += entry[1]
+    return PromptSection(name, " ".join(parts), tokens + len(parts))
+
+
+def _piece_tokens(item: object, text: str) -> int:
+    """Token count of one rendered piece, cached on the instance.
+
+    Mirrors ``_memo_describe`` (:mod:`repro.core.types`): the value types
+    are frozen dataclasses whose rendering — and therefore its token
+    count — is a pure function of their fields, so the count can live on
+    the instance and be reused every step the object re-enters a prompt
+    (memory windows and dialogue histories re-render the same instances
+    for many steps).  Only used on the fast path.
+    """
+    tokens = item.__dict__.get("_ptokens")
+    if tokens is None:
+        tokens = count_tokens(text)
+        object.__setattr__(item, "_ptokens", tokens)
+    return tokens
+
+
+class _DialogueWindows:
+    """Incremental per-conversation dialogue-window renderer.
+
+    An agent's dialogue windows evolve by suffix: step ``t+1``'s window
+    is step ``t``'s window minus a few truncated heads plus the step's
+    new messages.  Windows of *different* agents interleave (each agent's
+    log lacks its own broadcasts), so the cache keys on an explicit
+    ``window_key`` — the rendering agent — handed down by the planning /
+    communication modules.  Each key holds the conversation's last
+    rendered window with its per-message parts and token counts; the next
+    render locates the prior window's last message inside the new window,
+    splices the overlapping parts and counts, and describes/counts only
+    the genuinely new messages.  Entries pin their message objects, so
+    while an entry lives its ids cannot be recycled — an id match
+    therefore guarantees object identity, and parts/counts are pure
+    functions of those objects (counts via :func:`_piece_tokens`, so
+    splicing is byte-identical to recounting).  A stale entry (a new
+    episode reusing agent names) simply fails the id comparisons and
+    falls back to a full rebuild.
+
+    The read path is lock-free: a plain dict ``get`` is atomic under the
+    GIL, entries are immutable tuples, and a racing writer can only make
+    a reader miss (rebuild the same pure value), never observe a torn
+    entry — the suite's threaded ``--concurrent-sections`` mode relies on
+    this.  Writers serialize on a lock and clear the map outright at
+    capacity: keys number one per live conversation, so wholesale
+    eviction is rare and cheap to re-warm.
     """
 
     def __init__(self, capacity: int = 512) -> None:
         self._entries: dict[
-            tuple[int, ...], tuple[tuple[Message, ...], PromptSection]
+            str,
+            tuple[
+                tuple[int, ...],
+                tuple[Message, ...],
+                tuple[str, ...],
+                tuple[int, ...],
+                PromptSection,
+                list[Message] | None,
+                int,
+            ],
         ] = {}
         self._capacity = capacity
         self._lock = threading.Lock()
 
-    def get(self, key: tuple[int, ...]) -> PromptSection | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        return entry[1]
-
-    def put(
-        self, key: tuple[int, ...], window: list[Message], section: PromptSection
-    ) -> None:
+    def section(
+        self,
+        window_key: str,
+        recent: list[Message],
+        source: list[Message] | None = None,
+    ) -> PromptSection:
+        entries = self._entries
+        entry = entries.get(window_key)
+        # Same-source fast path: within a step the planning and
+        # communication modules hand the same (unmutated) window list;
+        # the pinned source plus its length identify it in O(1) without
+        # building the per-message id tuple (appends grow the length and
+        # fall through to the id comparison below).
+        if (
+            entry is not None
+            and source is not None
+            and entry[5] is source
+            and entry[6] == len(source)
+        ):
+            return entry[4]
+        ids = tuple(map(id, recent))
+        if entry is not None and entry[0] == ids:
+            return entry[4]
+        n = len(ids)
+        parts: list[str | None] = [None] * n
+        counts: list[int] = [0] * n
+        if entry is not None:
+            prior_ids = entry[0]
+            prior_last = prior_ids[-1]
+            # The prior window's newest message sits near the end of the
+            # new window (only the step's additions follow it).
+            for index in range(n - 1, -1, -1):
+                if ids[index] == prior_last:
+                    overlap = min(len(prior_ids), index + 1)
+                    if prior_ids[-overlap:] == ids[index + 1 - overlap : index + 1]:
+                        parts[index + 1 - overlap : index + 1] = entry[2][-overlap:]
+                        counts[index + 1 - overlap : index + 1] = entry[3][-overlap:]
+                    break
+        for index in range(n):
+            if parts[index] is None:
+                message = recent[index]
+                memo = message.__dict__
+                part = memo.get("_described")
+                if part is None:
+                    part = message.describe()
+                parts[index] = part
+                count = memo.get("_ptokens")
+                if count is None:
+                    count = _piece_tokens(message, part)
+                counts[index] = count
+        section = PromptSection("dialogue", " ".join(parts), sum(counts))
         with self._lock:
-            if len(self._entries) >= self._capacity:
-                self._entries.clear()
-            self._entries[key] = (tuple(window), section)
+            if len(entries) >= self._capacity:
+                entries.clear()
+            entries[window_key] = (
+                ids,
+                tuple(recent),
+                tuple(parts),
+                tuple(counts),
+                section,
+                source,
+                len(source) if source is not None else -1,
+            )
+        return section
 
 
-_DIALOGUE_SECTIONS = _WindowSectionMemo()
+_DIALOGUE_SECTIONS = _DialogueWindows()
 
 #: Dialogue windows shorter than this are cheaper to re-render (describes
 #: and per-piece token counts are already memoized) than to key and look
@@ -270,11 +400,42 @@ class PromptBuilder:
 
     def observation(self, observation: Observation | None) -> "PromptBuilder":
         if observation is not None:
-            self._prompt.add("observation", observation.describe())
+            if self._fast:
+                # The rendering is " "-joined period-terminated clauses
+                # (position line + one per fact), so the token count is
+                # additive over the clauses: the position line via the
+                # (tiny-vocabulary) tokenizer cache, each fact via its
+                # instance memo plus one token for the period.  This
+                # skips re-tokenizing the joined text — the single
+                # largest distinct-string source on the reference path —
+                # while producing the exact same count.
+                text = observation.describe()
+                tokens = observation.__dict__.get("_ptokens")
+                if tokens is None:
+                    head = f"{observation.agent} is at {observation.position}."
+                    tokens = count_tokens(head)
+                    for fact in observation.facts:
+                        tokens += _piece_tokens(fact, fact.describe()) + 1
+                    object.__setattr__(observation, "_ptokens", tokens)
+                self._prompt.append_section(
+                    PromptSection("observation", text, tokens)
+                )
+            else:
+                self._prompt.add("observation", observation.describe())
         return self
 
     def memory(self, facts: "Sequence[Fact]") -> "PromptBuilder":
         if facts:
+            # Tuple inputs come from per-step staged payloads
+            # (communication) whose identity is stable across the step's
+            # dialogue rounds; reuse their rendered section wholesale.
+            if self._fast and type(facts) is tuple:
+                section = _MEMORY_SECTIONS.get(facts)
+                if section is None:
+                    section = _described_section("memory", facts)
+                    _MEMORY_SECTIONS.put(facts, section)
+                self._prompt.append_section(section)
+                return self
             self.described_list("memory", facts)
         return self
 
@@ -288,37 +449,53 @@ class PromptBuilder:
         """
         if not items:
             return self
-        parts = [item.describe() for item in items]
-        text = " ".join(part + "." for part in parts)
         if self._fast:
-            tokens = sum(count_tokens(part) for part in parts) + len(parts)
-            self._prompt.append_section(PromptSection(name, text, tokens))
+            self._prompt.append_section(_described_section(name, items))
         else:
+            parts = [item.describe() for item in items]
+            text = " ".join(part + "." for part in parts)
             self._prompt.add(name, text)
         return self
 
-    def dialogue(self, messages: list[Message]) -> "PromptBuilder":
+    def dialogue(
+        self, messages: list[Message], window_key: str | None = None
+    ) -> "PromptBuilder":
         """Append dialogue history, truncated to the most recent window.
 
         Real systems cannot concatenate unbounded dialogue — they truncate
         at the context limit.  The cap keeps the paper's token-growth
         dynamics (Fig. 6) while bounding prompt size for large teams.
+
+        ``window_key`` names the conversation (normally the rendering
+        agent) so the fast path can render long windows incrementally
+        across steps; callers without a stable identity omit it and pay
+        the full per-window render.
         """
         if messages:
             recent = messages[-MAX_DIALOGUE_MESSAGES:]
             if self._fast:
-                key = (
-                    tuple(map(id, recent))
-                    if len(recent) >= _DIALOGUE_MEMO_MIN_MESSAGES
-                    else None
-                )
-                section = _DIALOGUE_SECTIONS.get(key) if key is not None else None
-                if section is None:
-                    parts = [message.describe() for message in recent]
-                    tokens = sum(count_tokens(part) for part in parts)
+                if (
+                    window_key is not None
+                    and len(recent) >= _DIALOGUE_MEMO_MIN_MESSAGES
+                ):
+                    section = _DIALOGUE_SECTIONS.section(
+                        window_key, recent, source=messages
+                    )
+                else:
+                    parts = []
+                    append = parts.append
+                    tokens = 0
+                    for message in recent:
+                        memo = message.__dict__
+                        part = memo.get("_described")
+                        if part is None:
+                            part = message.describe()
+                        append(part)
+                        count = memo.get("_ptokens")
+                        if count is None:
+                            count = _piece_tokens(message, part)
+                        tokens += count
                     section = PromptSection("dialogue", " ".join(parts), tokens)
-                    if key is not None:
-                        _DIALOGUE_SECTIONS.put(key, recent, section)
                 self._prompt.append_section(section)
             else:
                 parts = [message.describe() for message in recent]
@@ -337,7 +514,23 @@ class PromptBuilder:
                 if section is not None:
                     self._prompt.append_section(section)
                     return self
-            prefixes, index_tokens = _index_scaffold(len(candidates))
+                # Cache-stable tuples share their columnar features with
+                # the behaviour kernel (:mod:`repro.envs.candidates`):
+                # descriptions are prerendered and token counts pretotaled,
+                # so a miss here is a join plus two adds rather than a
+                # describe + count per candidate.
+                features = candidate_features(candidates)
+                prefixes, _, cumulative = _index_scaffold(len(candidates))
+                text = " ".join(
+                    prefix + described
+                    for prefix, described in zip(prefixes, features.described)
+                )
+                tokens = cumulative[len(candidates)] + features.desc_tokens_total
+                section = PromptSection("candidates", text, tokens)
+                _CANDIDATE_SECTIONS.put(candidates, section)
+                self._prompt.append_section(section)
+                return self
+            prefixes, index_tokens, _ = _index_scaffold(len(candidates))
             lines = []
             tokens = 0
             for index, candidate in enumerate(candidates):
@@ -345,8 +538,6 @@ class PromptBuilder:
                 lines.append(prefixes[index] + described)
                 tokens += index_tokens[index] + count_tokens(described)
             section = PromptSection("candidates", " ".join(lines), tokens)
-            if stable:
-                _CANDIDATE_SECTIONS.put(candidates, section)
             self._prompt.append_section(section)
         else:
             lines = [

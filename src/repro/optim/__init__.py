@@ -13,6 +13,7 @@ from repro.optim.recommendations import (
     with_plan_then_comm,
     with_quantization,
     with_serving,
+    with_vector_planning,
 )
 
 __all__ = [
@@ -29,4 +30,5 @@ __all__ = [
     "with_plan_then_comm",
     "with_quantization",
     "with_serving",
+    "with_vector_planning",
 ]

@@ -23,17 +23,81 @@ identical stream more cheaply:
 
 The reference path keeps the seed implementation verbatim, so benchmark
 comparisons stay honest.
+
+Detector modes (``REPRO_DETECTOR``): the module additionally hosts a
+**vector** detector that batches the per-fact draws into three array
+calls — ``rng.random(n)`` for recall, ``rng.random(m)`` for the ``m``
+facts that passed recall (only when a distractor vocabulary exists), and
+``rng.integers(n_distractors, size=k)`` for the ``k`` facts whose
+mislabel draw fired.  It follows the loop's exact draw *accounting
+rule* — one recall uniform per fact, one mislabel uniform per passed
+fact (only when a distractor vocabulary exists), one integer draw per
+fired mislabel — so no draw category is skipped or invented; but the
+draws are reordered (all recall draws first instead of interleaved per
+fact), so under noisy profiles different facts pass recall and its
+aggregates differ from the loop detector's.
+That is a documented byte-identity waiver: ``loop`` stays the default
+and the reference for every golden suite; ``vector`` ships with its own
+re-baselined goldens (see docs/performance.md).  Mode precedence: an
+explicit ``mode=`` argument wins, then the process-local override, then
+``REPRO_DETECTOR``; the ``loop`` mode dispatches through the existing
+hotpath seam exactly as before.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.core import hotpath
+from repro.core.envknobs import choice_knob
 from repro.core.types import Fact
 from repro.perception.models import PerceptionProfile
+
+#: Valid detector modes: ``loop`` (seed-faithful per-fact draws, the
+#: default and golden reference) and ``vector`` (batched draws, same
+#: draw counts, reordered stream — re-baselined goldens).
+DETECTOR_MODES = ("loop", "vector")
+
+
+def _mode_from_env() -> str:
+    return choice_knob("REPRO_DETECTOR", default="loop", choices=DETECTOR_MODES)
+
+
+_mode = _mode_from_env()
+
+
+def mode() -> str:
+    """The detector mode active in this process (``loop`` / ``vector``)."""
+    return _mode
+
+
+def set_mode(value: str) -> None:
+    """Set the process-local detector mode (workers re-read the env var)."""
+    global _mode
+    if value not in DETECTOR_MODES:
+        raise ValueError(f"detector mode must be one of {DETECTOR_MODES}: {value!r}")
+    _mode = value
+
+
+@contextmanager
+def override_mode(value: str) -> Iterator[None]:
+    """Temporarily force a detector mode (tests and benchmarks).
+
+    Process-local, like :func:`repro.core.hotpath.override`: worker
+    processes of a parallel executor initialize from ``REPRO_DETECTOR``
+    instead, so parallel runs that need a non-default mode must export
+    the variable before the pool is created.
+    """
+    previous = _mode
+    set_mode(value)
+    try:
+        yield
+    finally:
+        set_mode(previous)
 
 
 @dataclass(frozen=True)
@@ -51,13 +115,21 @@ def detect(
     profile: PerceptionProfile,
     rng: np.random.Generator,
     distractor_values: list[str] | None = None,
+    mode: str | None = None,
 ) -> DetectionResult:
     """Simulate one perception pass over ``ground_facts``.
 
     ``distractor_values`` supplies plausible wrong values for mislabeling
     (e.g. other locations in the scene); without them mislabeling is
     skipped, since a detector cannot invent values outside its vocabulary.
+
+    ``mode`` pins the detector implementation for this call (``loop`` /
+    ``vector``); ``None`` defers to the process mode (:func:`set_mode`,
+    ``REPRO_DETECTOR``).  The ``vector`` detector wins regardless of the
+    hotpath flag — it is an explicit opt-in with its own goldens.
     """
+    if (mode or _mode) == "vector":
+        return _detect_vector(ground_facts, profile, rng, distractor_values)
     if hotpath.enabled():
         return _detect_fast(ground_facts, profile, rng, distractor_values)
     return _detect_reference(ground_facts, profile, rng, distractor_values)
@@ -154,6 +226,94 @@ def _detect_fast(
                 missed += 1
                 continue
             append(fact)
+    return DetectionResult(
+        facts=tuple(observed),
+        missed=missed,
+        mislabeled=mislabeled,
+        latency=profile.latency_s,
+    )
+
+
+def _detect_vector(
+    ground_facts: list[Fact],
+    profile: PerceptionProfile,
+    rng: np.random.Generator,
+    distractor_values: list[str] | None,
+) -> DetectionResult:
+    """Batched detection following the loop's exact draw-accounting rule.
+
+    Draw-count contract (asserted by the parity test in
+    tests/perception/test_detector.py): for ``n`` facts of which ``m``
+    pass recall and ``k`` of those fire their mislabel draw, the loop
+    consumes ``n`` recall uniforms + ``m`` mislabel uniforms (only when a
+    distractor vocabulary exists) + ``k`` integer draws.  This path draws
+    ``rng.random(n)``, ``rng.random(m)``, ``rng.integers(_, size=k)`` —
+    the identical outcome-conditional accounting, batched.  Because the
+    loop interleaves the kinds per fact, the reordered stream assigns
+    different uniforms to the recall checks, so under noisy profiles the
+    realized ``m``/``k`` (and hence aggregates) differ from ``loop`` mode
+    — the documented waiver.  Whenever no draw can change an outcome
+    (perfect detectors, i.e. the symbolic profile) both modes report
+    identical facts *and* consume identical totals.
+    """
+    n = len(ground_facts)
+    if n == 0:
+        return DetectionResult(
+            facts=(), missed=0, mislabeled=0, latency=profile.latency_s
+        )
+    # The rng calls below are the entire draw contract; the comparisons
+    # and assembly run on plain python lists (``tolist``) because frames
+    # are small (a handful to a few dozen facts) and elementwise access
+    # into numpy arrays costs more than the batched draw saves.
+    recall = profile.recall
+    recall_draws = rng.random(n).tolist()
+    if not distractor_values:
+        observed = [
+            fact
+            for fact, draw in zip(ground_facts, recall_draws)
+            if draw <= recall
+        ]
+        missed = n - len(observed)
+        facts = tuple(ground_facts) if missed == 0 else tuple(observed)
+        return DetectionResult(
+            facts=facts, missed=missed, mislabeled=0, latency=profile.latency_s
+        )
+    passed = [draw <= recall for draw in recall_draws]
+    n_passed = sum(passed)
+    missed = n - n_passed
+    fired = None
+    picks = None
+    if n_passed:
+        mislabel_rate = profile.mislabel_rate
+        fired = [draw < mislabel_rate for draw in rng.random(n_passed).tolist()]
+        n_fired = sum(fired)
+        if n_fired:
+            picks = rng.integers(len(distractor_values), size=n_fired).tolist()
+    observed = []
+    append = observed.append
+    mislabeled = 0
+    passed_cursor = 0
+    pick_cursor = 0
+    for index, fact in enumerate(ground_facts):
+        if not passed[index]:
+            continue
+        fact_fired = fired[passed_cursor]
+        passed_cursor += 1
+        if fact_fired:
+            wrong_value = distractor_values[picks[pick_cursor]]
+            pick_cursor += 1
+            if wrong_value != fact.value:
+                append(
+                    Fact(
+                        subject=fact.subject,
+                        relation=fact.relation,
+                        value=wrong_value,
+                        step=fact.step,
+                    )
+                )
+                mislabeled += 1
+                continue
+        append(fact)
     return DetectionResult(
         facts=tuple(observed),
         missed=missed,

@@ -172,3 +172,68 @@ class TestProperties:
         b = k.decide(request, 500, np.random.default_rng(seed))
         assert a.candidate.subgoal == b.candidate.subgoal
         assert a.fault == b.fault
+
+
+class TestScoreboardEquivalence:
+    """The numpy scoreboard reproduces the scalar pools byte for byte.
+
+    The scoreboard path engages only on the hot path and only for tuple
+    candidate sequences (the env cache's stable tuples); the scalar path
+    is the seed implementation.  Same seed, same request => identical
+    candidate, fault, retries, and p_correct, across blacklists, stale
+    facts, and fault-rich candidate pools.
+    """
+
+    def _rich_candidates(self):
+        return candidates_basic() + [
+            Candidate(subgoal=Subgoal("stale", target="room_b"), utility=0.4,
+                      fault=FaultKind.STALE_MEMORY),
+            Candidate(subgoal=Subgoal("tied", target="box_1"), utility=1.0),
+            Candidate(subgoal=Subgoal("tied2", target="box_2"), utility=1.0),
+        ]
+
+    def _requests(self):
+        pool = self._rich_candidates()
+        blacklist = frozenset({Subgoal("tied", target="box_1")})
+        for has_stale in (False, True):
+            for bl in (frozenset(), blacklist):
+                yield dict(difficulty="hard", n_joint=3, blacklist=bl,
+                           has_stale_facts=has_stale), pool
+
+    def test_scoreboard_matches_scalar_pools(self):
+        from repro.core import hotpath
+
+        for kwargs, pool in self._requests():
+            for seed in range(150):
+                with hotpath.override(True):
+                    fast_kernel = kernel(reasoning=0.4, compliance=0.9)
+                    fast = fast_kernel.decide(
+                        DecisionRequest(candidates=tuple(pool), **kwargs),
+                        2000,
+                        np.random.default_rng(seed),
+                    )
+                with hotpath.override(False):
+                    slow_kernel = kernel(reasoning=0.4, compliance=0.9)
+                    slow = slow_kernel.decide(
+                        DecisionRequest(candidates=list(pool), **kwargs),
+                        2000,
+                        np.random.default_rng(seed),
+                    )
+                assert fast.candidate == slow.candidate, (kwargs, seed)
+                assert fast.fault == slow.fault, (kwargs, seed)
+                assert fast.retries == slow.retries, (kwargs, seed)
+                assert fast.p_correct == slow.p_correct, (kwargs, seed)
+
+    def test_scoreboard_actually_engages(self):
+        """Guard against the scoreboard silently disabling itself."""
+        from repro.core import hotpath
+
+        with hotpath.override(True):
+            k = kernel(reasoning=0.4, compliance=0.9)
+            pool = tuple(self._rich_candidates())
+            request = DecisionRequest(candidates=pool, difficulty="hard")
+            k.decide(request, 2000, np.random.default_rng(0))
+            assert k._scoreboard(request) is not None
+        with hotpath.override(False):
+            k = kernel(reasoning=0.4, compliance=0.9)
+            assert k._scoreboard(request) is None
