@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath bench-comm bench-planning bench-serving bench-all lint format suite docs-check
+.PHONY: test bench bench-hotpath bench-comm bench-planning bench-serving bench-fleet bench-all lint format suite docs-check resume-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -43,8 +43,22 @@ bench-serving:
 	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
 		$(PYTHON) -m pytest benchmarks/bench_serving.py -x -q -s
 
-# The four gated benchmarks CI runs, in one target.
-bench-all: bench-hotpath bench-comm bench-planning bench-serving
+# Fleet dispatch speedup (one pipelined streaming wave vs per-cell
+# barriered batches) on a straggler-shaped synthetic sweep, with the
+# byte-identical equivalence assert and the >20%-regression gate against
+# benchmarks/baselines/BENCH_fleet.json.  Emits BENCH_fleet.json.
+bench-fleet:
+	REPRO_TRIALS=$${REPRO_TRIALS:-2} \
+		$(PYTHON) -m pytest benchmarks/bench_fleet.py -x -q -s
+
+# The five gated benchmarks CI runs, in one target.
+bench-all: bench-hotpath bench-comm bench-planning bench-serving bench-fleet
+
+# Crash/resume drill on the fleet ledger: kill a sweep mid-run, restart
+# against the same ledger, require only the lost episodes to re-run and
+# the aggregates to come back byte-identical.
+resume-smoke:
+	$(PYTHON) scripts/resume_smoke.py
 
 lint:
 	ruff check .

@@ -1,0 +1,91 @@
+"""Crash/resume smoke check for the fleet ledger (CI gate).
+
+Drill: run a sweep that is killed partway through (a synthetic crash
+injected mid-sweep), then restart it against the same ledger with the
+fault cleared, and require that
+
+1. the restart executes *only* the episodes the crash lost (the
+   completed prefix is restored from the ledger, not re-run), and
+2. the resumed aggregates are byte-identical to an uninterrupted serial
+   run of the same sweep.
+
+Exercises the real production path (``measure_grid`` ->
+``dispatch_jobs`` -> ``fleet_from_env`` -> ledger) with real episodes —
+the same wiring a suite operator uses via ``REPRO_LEDGER``.
+
+Usage::
+
+    PYTHONPATH=src python scripts/resume_smoke.py
+
+Exits non-zero (with a diagnostic) on any violation.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.errors import TrialExecutionError  # noqa: E402
+from repro.core.executor import SerialExecutor, run_trial_job  # noqa: E402
+from repro.core.fleet import FleetRunner, JobLedger  # noqa: E402
+from repro.core.metrics import aggregate  # noqa: E402
+from repro.core.runner import trial_jobs  # noqa: E402
+from repro.workloads import get_workload  # noqa: E402
+
+N_TRIALS = 4
+
+
+def fail(message: str) -> None:
+    print(f"resume-smoke: FAIL — {message}")
+    raise SystemExit(1)
+
+
+def main() -> None:
+    config = get_workload("embodiedgpt").config
+    jobs = trial_jobs(config, N_TRIALS, difficulty="easy", base_seed=77)
+    uninterrupted = aggregate(SerialExecutor().run_jobs(jobs))
+
+    # A runner that dies when it reaches the third trial's seed.
+    crash_seed = jobs[2].seed
+
+    def crash_on_seed(job):
+        if job.seed == crash_seed:
+            raise RuntimeError(f"injected crash at seed {job.seed}")
+        return run_trial_job(job)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ledger_path = Path(tmp) / "smoke-ledger.jsonl"
+
+        first = FleetRunner(JobLedger(ledger_path))
+        try:
+            first.run_jobs(jobs, SerialExecutor(job_runner=crash_on_seed))
+        except TrialExecutionError:
+            pass
+        else:
+            fail("injected crash did not surface")
+        if first.executed != 2:
+            fail(f"expected 2 episodes before the crash, ledger has {first.executed}")
+
+        second = FleetRunner(JobLedger(ledger_path))
+        resumed = aggregate(second.run_jobs(jobs, SerialExecutor()))
+        if second.executed != N_TRIALS - 2:
+            fail(
+                f"restart re-ran {second.executed} episodes; the completed "
+                f"prefix of 2 should have been restored from the ledger"
+            )
+        if pickle.dumps(resumed) != pickle.dumps(uninterrupted):
+            fail("resumed aggregates are not byte-identical to the serial run")
+
+    print(
+        f"resume-smoke: OK — crash after 2/{N_TRIALS} episodes, restart "
+        f"executed {N_TRIALS - 2}, aggregates byte-identical to the "
+        f"uninterrupted run"
+    )
+
+
+if __name__ == "__main__":
+    main()

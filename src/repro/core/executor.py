@@ -4,27 +4,39 @@ Every figure in the paper aggregates independent seeded trials, which
 makes the trial grid embarrassingly parallel: episodes share no state
 (each owns its RNG streams, clock, and environment), so they can run in
 worker processes without perturbing determinism.  A
-:class:`TrialExecutor` receives an ordered list of picklable
-:class:`TrialJob` work items and returns their
-:class:`~repro.core.metrics.EpisodeResult`\\ s **in submission order**,
-so aggregation downstream is bit-identical regardless of which worker
-finished first.
+:class:`TrialExecutor` receives picklable :class:`TrialJob` work items
+and produces their :class:`~repro.core.metrics.EpisodeResult`\\ s.
+
+Two dispatch surfaces:
+
+- :meth:`TrialExecutor.run_jobs` — batch mode: run every job, return
+  results **in submission order** so aggregation downstream is
+  bit-identical regardless of which worker finished first.
+- :meth:`TrialExecutor.run_stream` — pipelined mode: accept a (possibly
+  lazy) job iterable and yield ``(index, result)`` pairs **in completion
+  order**.  This is what the fleet layer (:mod:`repro.core.fleet`) and
+  the pipelined grid helpers build on: all cells of a sweep stay in
+  flight at once (no per-cell barrier drains the pool), completed
+  episodes can be checkpointed the moment they finish, and a lazy job
+  iterable lets admission stop cleanly when a token budget trips.
 
 ``SerialExecutor`` (the default everywhere) runs jobs in-process exactly
 as the seed code did; ``ParallelExecutor`` fans them out across a
 ``concurrent.futures.ProcessPoolExecutor``.  Experiment code normally
 obtains an executor from :func:`get_executor`, which caches one pool per
-``(kind, max_workers)`` so a full suite run reuses its workers instead
-of re-forking per experiment cell.
+*effective* ``(kind, worker count)`` — an unset worker count resolves to
+:func:`default_worker_count` before keying, so ``max_workers=None`` and
+an explicit default share one pool — and a full suite run reuses its
+workers instead of re-forking per experiment cell.
 
 Contracts:
 
 - **Picklability** — a :class:`TrialJob` is frozen dataclasses of
   primitives all the way down; anything added to configs or tasks must
   stay picklable or parallel dispatch breaks.
-- **Byte-identity** — results return in submission order regardless of
-  completion order, so parallel aggregates equal serial ones exactly
-  (asserted by ``tests/core/test_executor.py`` and
+- **Byte-identity** — ``run_jobs`` results return in submission order
+  regardless of completion order, so parallel aggregates equal serial
+  ones exactly (asserted by ``tests/core/test_executor.py`` and
   ``benchmarks/bench_executor.py``).
 - **Knob precedence** — ``REPRO_WORKERS`` only supplies the *default*
   (serial at 1, parallel above); explicit ``ExperimentSettings(executor=,
@@ -33,7 +45,11 @@ Contracts:
   the environment at spawn — in-process overrides do not cross the pool
   boundary.
 - **Failure surface** — a crashed trial raises ``TrialExecutionError``
-  naming the job; it never hangs and never drops results.
+  naming the job; it never hangs and never drops results.  The parallel
+  stream watches completions (not submission order), so the first
+  failure surfaces promptly even while earlier-submitted jobs are still
+  running; results that completed before the failure are yielded first,
+  which is what lets the fleet ledger keep them.
 """
 
 from __future__ import annotations
@@ -42,7 +58,7 @@ import atexit
 import os
 import threading
 from abc import ABC, abstractmethod
-from collections.abc import Sequence
+from collections.abc import Callable, Iterable, Iterator
 from concurrent import futures
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -81,18 +97,48 @@ def run_trial_job(job: TrialJob) -> EpisodeResult:
     return build_loop(job.config, job.task, job.seed).run()
 
 
+#: A job-execution function.  The default runs a real episode; benches
+#: and fleet tests substitute module-level synthetic runners (a sleeping
+#: job, a crash injector) — it must stay picklable for process pools.
+JobRunner = Callable[[TrialJob], EpisodeResult]
+
+
 class TrialExecutor(ABC):
     """Strategy for running a batch of independent trial jobs."""
 
     kind: str = "abstract"
 
     @abstractmethod
-    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
-        """Run every job and return results in submission order.
+    def run_stream(
+        self, jobs: Iterable[TrialJob], window: int | None = None
+    ) -> Iterator[tuple[int, EpisodeResult]]:
+        """Run jobs from a (possibly lazy) iterable, yielding completions.
+
+        Yields ``(submission_index, result)`` pairs in completion order.
+        ``window`` bounds how many jobs may be in flight (and therefore
+        how far ahead of the consumer the job iterable is pulled);
+        ``None`` submits eagerly for maximum pipelining.  A bounded
+        window is how the fleet layer keeps budget admission honest: the
+        job generator sees up-to-date spend before each pull.
 
         A job that raises must surface a :class:`TrialExecutionError`
-        naming the failed job — never hang, never drop results.
+        naming the failed job — never hang, never drop completed
+        results (completions that beat the failure are yielded first).
         """
+
+    def run_jobs(self, jobs: Iterable[TrialJob]) -> list[EpisodeResult]:
+        """Run every job and return results in submission order.
+
+        Built on :meth:`run_stream`: dispatch is pipelined/completion-
+        ordered, the returned list is submission-ordered, so aggregates
+        are byte-identical to a serial pass.
+        """
+        jobs = list(jobs)
+        results: list[EpisodeResult | None] = [None] * len(jobs)
+        for index, result in self.run_stream(jobs):
+            results[index] = result
+        # run_stream either yields every index or raises; the cast is safe.
+        return results  # type: ignore[return-value]
 
     def close(self) -> None:
         """Release worker resources; the executor is unusable afterwards."""
@@ -109,16 +155,20 @@ class SerialExecutor(TrialExecutor):
 
     kind = "serial"
 
-    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
-        results = []
-        for job in jobs:
+    def __init__(self, job_runner: JobRunner = run_trial_job):
+        self._runner = job_runner
+
+    def run_stream(
+        self, jobs: Iterable[TrialJob], window: int | None = None
+    ) -> Iterator[tuple[int, EpisodeResult]]:
+        for index, job in enumerate(jobs):
             try:
-                results.append(run_trial_job(job))
+                result = self._runner(job)
             except Exception as exc:
                 raise TrialExecutionError(
                     f"trial {job.describe()} failed: {exc!r}"
                 ) from exc
-        return results
+            yield index, result
 
 
 def default_worker_count() -> int:
@@ -134,17 +184,24 @@ class ParallelExecutor(TrialExecutor):
 
     The pool is created on first use (constructing the executor is free)
     and survives across ``run_jobs`` calls so sweeps amortize worker
-    startup.  Results are collected future-by-future in submission
-    order, which both preserves determinism and turns a worker crash
-    into an immediate, attributable exception instead of a hang.
+    startup.  The stream watches completions: results are yielded the
+    moment any worker finishes (the pipelining the fleet layer's
+    checkpointing rides on), and a worker crash becomes an immediate,
+    attributable exception instead of waiting behind earlier-submitted
+    jobs that are still running.
     """
 
     kind = "parallel"
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        job_runner: JobRunner = run_trial_job,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1: {max_workers}")
         self.max_workers = max_workers or default_worker_count()
+        self._runner = job_runner
         self._pool: futures.ProcessPoolExecutor | None = None
         # run_jobs may be called from several threads at once (suite
         # --concurrent-sections); guard pool creation so only one pool
@@ -157,29 +214,60 @@ class ParallelExecutor(TrialExecutor):
                 self._pool = futures.ProcessPoolExecutor(max_workers=self.max_workers)
             return self._pool
 
-    def run_jobs(self, jobs: Sequence[TrialJob]) -> list[EpisodeResult]:
-        if not jobs:
-            return []
+    def run_stream(
+        self, jobs: Iterable[TrialJob], window: int | None = None
+    ) -> Iterator[tuple[int, EpisodeResult]]:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
         pool = self._ensure_pool()
-        pending = [(job, pool.submit(run_trial_job, job)) for job in jobs]
-        results = []
-        try:
-            for job, future in pending:
+        source = enumerate(jobs)
+        in_flight: dict[futures.Future, tuple[int, TrialJob]] = {}
+        exhausted = False
+
+        def top_up() -> None:
+            nonlocal exhausted
+            while not exhausted and (window is None or len(in_flight) < window):
                 try:
-                    results.append(future.result())
-                except BrokenProcessPool as exc:
-                    self.close()
+                    index, job = next(source)
+                except StopIteration:
+                    exhausted = True
+                    return
+                in_flight[pool.submit(self._runner, job)] = (index, job)
+
+        try:
+            top_up()
+            while in_flight:
+                done, _ = futures.wait(
+                    in_flight, return_when=futures.FIRST_COMPLETED
+                )
+                # Yield this round's successes (submission order within
+                # the round, for determinism of side effects) before
+                # raising on its first failure, so a crash never
+                # discards results that already completed.
+                completed = sorted(
+                    (in_flight.pop(future), future) for future in done
+                )
+                failure: tuple[TrialJob, BaseException] | None = None
+                for (index, job), future in completed:
+                    error = future.exception()
+                    if error is None:
+                        yield index, future.result()
+                    elif failure is None:
+                        failure = (job, error)
+                if failure is not None:
+                    job, error = failure
+                    if isinstance(error, BrokenProcessPool):
+                        self.close()
+                        raise TrialExecutionError(
+                            f"worker pool died while running trial {job.describe()}"
+                        ) from error
                     raise TrialExecutionError(
-                        f"worker pool died while running trial {job.describe()}"
-                    ) from exc
-                except Exception as exc:
-                    raise TrialExecutionError(
-                        f"trial {job.describe()} failed in worker: {exc!r}"
-                    ) from exc
+                        f"trial {job.describe()} failed in worker: {error!r}"
+                    ) from error
+                top_up()
         finally:
-            for _job, future in pending:
+            for future in in_flight:
                 future.cancel()
-        return results
 
     def close(self) -> None:
         with self._lock:
@@ -197,12 +285,25 @@ def make_executor(kind: str, max_workers: int | None = None) -> TrialExecutor:
     raise ValueError(f"executor kind must be one of {EXECUTOR_KINDS}, got {kind!r}")
 
 
-_SHARED: dict[tuple[str, int | None], TrialExecutor] = {}
+_SHARED: dict[tuple[str, int], TrialExecutor] = {}
 _SHARED_LOCK = threading.Lock()
 
 
+def _shared_key(kind: str, max_workers: int | None) -> tuple[str, int]:
+    """Cache key with the worker count resolved to its effective value.
+
+    ``max_workers=None`` and an explicit ``default_worker_count()``
+    configure the same pool, so they must share one cache slot — two
+    pools for one effective configuration would double the forked
+    workers.  Serial executors have no workers; they all key as 1.
+    """
+    if kind == "serial":
+        return ("serial", 1)
+    return (kind, max_workers or default_worker_count())
+
+
 def get_executor(kind: str, max_workers: int | None = None) -> TrialExecutor:
-    """Shared executor for ``(kind, max_workers)``.
+    """Shared executor for the effective ``(kind, worker count)``.
 
     Parallel executors own a process pool, so experiment helpers share
     one instance per configuration rather than re-forking workers for
@@ -210,10 +311,10 @@ def get_executor(kind: str, max_workers: int | None = None) -> TrialExecutor:
     resolve their executor through here); pools are shut down at
     interpreter exit.
     """
-    key = (kind, max_workers)
+    key = _shared_key(kind, max_workers)
     with _SHARED_LOCK:
         if key not in _SHARED:
-            _SHARED[key] = make_executor(kind, max_workers=max_workers)
+            _SHARED[key] = make_executor(key[0], max_workers=key[1])
         return _SHARED[key]
 
 

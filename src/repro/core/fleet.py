@@ -1,0 +1,498 @@
+"""Sharded fleet runner: durable job ledger, checkpoint/resume, budgets.
+
+The paper's scalability analysis (Fig. 7) needs suite runs at ~100x the
+trial counts a single barriered batch can carry.  This module grows the
+executor layer into a *fleet* layer with three properties a run of that
+size cannot do without:
+
+- **Episode-level checkpoint/resume** — every completed
+  :class:`~repro.core.metrics.EpisodeResult` persists to a durable JSONL
+  *ledger* the moment it finishes (the executor's completion-ordered
+  :meth:`~repro.core.executor.TrialExecutor.run_stream` makes that
+  possible); a restarted run skips everything the ledger already holds
+  and produces aggregates byte-identical to an uninterrupted run.
+- **Cross-machine sharding with lease-based work stealing** — with
+  ``REPRO_SHARDS=N`` / ``REPRO_SHARD_ID=i`` each process owns the jobs
+  whose content fingerprint hashes to its shard; after finishing its own
+  partition it *steals* unclaimed or lease-expired foreign jobs, and
+  polls the shared ledger for the rest, so every shard eventually
+  returns the same complete aggregates and a dead shard's work is
+  re-claimed instead of lost.  (Work stealing may duplicate an episode
+  when a lease outlives its TTL mid-run; episodes are deterministic, so
+  duplicates write identical records and correctness is unaffected —
+  size ``REPRO_LEASE_SECONDS`` above the longest episode to avoid the
+  wasted work.)
+- **Cost governance** — completed episodes carry per-deployment token
+  accounting (:mod:`repro.llm.costs`); ``REPRO_BUDGET_TOKENS`` caps the
+  ledger-wide token spend, and when the cap trips the runner stops
+  *admitting* new jobs, drains what is in flight (persisting it), and
+  raises :class:`~repro.core.errors.BudgetExceededError` with a
+  partial-ledger report.
+
+Jobs are keyed by a **content fingerprint**: a SHA-256 over the
+canonical JSON of ``(config, task, seed)`` plus the result-affecting
+``REPRO_*`` knob set (:func:`knob_fingerprint`).  Changing any such knob
+— say ``REPRO_HOTPATH=0`` or ``REPRO_DETECTOR=vector`` — changes every
+fingerprint, so a stale ledger can never leak results produced under
+different semantics into a resumed run.  Execution-*shape* knobs
+(worker counts, shard layout, the budget itself) are excluded: they
+change how jobs run, never what an episode computes.
+
+The layer is opt-in and invisible when off: ``REPRO_LEDGER`` unset means
+:func:`fleet_from_env` returns ``None`` and the grid helpers dispatch
+straight to their executor, exactly as before.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import zlib
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.envknobs import float_knob, int_knob, raw_knob
+from repro.core.errors import BudgetExceededError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.executor import TrialExecutor, TrialJob
+    from repro.core.metrics import EpisodeResult
+
+try:  # pragma: no cover - fcntl is present on every supported platform
+    import fcntl
+except ImportError:  # pragma: no cover - windows fallback: no inter-process lock
+    fcntl = None  # type: ignore[assignment]
+
+#: ``REPRO_*`` knobs that shape *execution* (parallelism, sharding, the
+#: budget, diagnostics) without affecting what any single episode
+#: computes.  Everything else ``REPRO_``-prefixed in the environment is
+#: part of the content fingerprint.
+EXECUTION_KNOBS = frozenset(
+    {
+        "REPRO_WORKERS",
+        "REPRO_TRIALS",
+        "REPRO_SUITE_CONCURRENT",
+        "REPRO_PROFILE",
+        "REPRO_LEDGER",
+        "REPRO_SHARDS",
+        "REPRO_SHARD_ID",
+        "REPRO_LEASE_SECONDS",
+        "REPRO_BUDGET_TOKENS",
+        "REPRO_FLEET_POLL",
+        "REPRO_REGEN_GOLDENS",
+        "REPRO_SYNTH_CRASH_SEEDS",
+    }
+)
+
+#: Defaults for the fleet knobs (documented in docs/performance.md).
+DEFAULT_LEASE_SECONDS = 300.0
+DEFAULT_POLL_SECONDS = 0.2
+
+
+def knob_fingerprint() -> dict[str, str]:
+    """The result-affecting ``REPRO_*`` knob set, as currently exported.
+
+    Conservative by construction: any knob not known to be pure
+    execution shape participates, so flipping e.g. ``REPRO_HOTPATH`` or
+    ``REPRO_SERVE`` invalidates every ledger fingerprint rather than
+    risking a semantically stale resume.
+    """
+    return {
+        name: value.strip()
+        for name, value in sorted(os.environ.items())
+        if name.startswith("REPRO_") and name not in EXECUTION_KNOBS
+    }
+
+
+def job_fingerprint(job: "TrialJob", knobs: dict[str, str] | None = None) -> str:
+    """Content fingerprint of one trial job under the active knob set."""
+    payload = {
+        "config": job.config.fingerprint_payload(),
+        "task": asdict(job.task),
+        "seed": job.seed,
+        "knobs": knobs if knobs is not None else knob_fingerprint(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def encode_result(result: "EpisodeResult") -> str:
+    """Exact round-trip encoding of an episode result for the ledger.
+
+    Pickle inside zlib inside base64: the JSON envelope stays readable
+    (fingerprint, shard, token counts), while the payload preserves
+    every float bit and nested dataclass — the property that makes
+    resumed aggregates byte-identical to uninterrupted ones.
+    """
+    return base64.b64encode(zlib.compress(pickle.dumps(result), 6)).decode("ascii")
+
+
+def decode_result(payload: str) -> "EpisodeResult":
+    return pickle.loads(zlib.decompress(base64.b64decode(payload.encode("ascii"))))
+
+
+@dataclass
+class LedgerEntry:
+    """Latest known state of one fingerprint in the ledger."""
+
+    kind: str  # "done" | "lease"
+    fingerprint: str
+    shard: int
+    expires: float = 0.0  # lease only: absolute unix time
+    prompt_tokens: int = 0  # done only
+    output_tokens: int = 0  # done only
+    job: str = ""  # done only: human-readable job description
+    payload: str = ""  # done only: encoded EpisodeResult
+
+
+class JobLedger:
+    """Append-only JSONL ledger shared by every shard of a fleet run.
+
+    One line per event: ``done`` records carry the encoded episode
+    result and its token counts; ``lease`` records claim a fingerprint
+    for a shard until an absolute expiry.  Appends take an exclusive
+    ``flock`` and fsync, so concurrent shards on a shared filesystem
+    interleave whole lines and a crash never leaves a half-trusted
+    record (a torn trailing line is skipped on load).  Reads replay the
+    file: ``done`` wins permanently; among leases the latest expiry
+    stands.
+    """
+
+    def __init__(self, path: Path | str):
+        self.path = Path(path)
+
+    def load(self) -> dict[str, LedgerEntry]:
+        if not self.path.exists():
+            return {}
+        entries: dict[str, LedgerEntry] = {}
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn trailing line from an in-progress append
+                fingerprint = record.get("fingerprint", "")
+                kind = record.get("kind", "")
+                if not fingerprint or kind not in ("done", "lease"):
+                    continue
+                current = entries.get(fingerprint)
+                if current is not None and current.kind == "done":
+                    continue  # done is final
+                if kind == "done":
+                    entries[fingerprint] = LedgerEntry(
+                        kind="done",
+                        fingerprint=fingerprint,
+                        shard=int(record.get("shard", 0)),
+                        prompt_tokens=int(record.get("prompt_tokens", 0)),
+                        output_tokens=int(record.get("output_tokens", 0)),
+                        job=record.get("job", ""),
+                        payload=record.get("payload", ""),
+                    )
+                else:
+                    expires = float(record.get("expires", 0.0))
+                    if current is None or expires >= current.expires:
+                        entries[fingerprint] = LedgerEntry(
+                            kind="lease",
+                            fingerprint=fingerprint,
+                            shard=int(record.get("shard", 0)),
+                            expires=expires,
+                        )
+        return entries
+
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+            finally:
+                if fcntl is not None:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def append_done(
+        self, fingerprint: str, job: "TrialJob", result: "EpisodeResult", shard: int
+    ) -> None:
+        self._append(
+            {
+                "kind": "done",
+                "fingerprint": fingerprint,
+                "shard": shard,
+                "job": job.describe(),
+                "prompt_tokens": result.prompt_tokens,
+                "output_tokens": result.output_tokens,
+                "payload": encode_result(result),
+            }
+        )
+
+    def append_lease(self, fingerprint: str, shard: int, ttl_seconds: float) -> None:
+        self._append(
+            {
+                "kind": "lease",
+                "fingerprint": fingerprint,
+                "shard": shard,
+                "expires": time.time() + ttl_seconds,
+            }
+        )
+
+
+class FleetRunner:
+    """Dispatch trial jobs through a ledger with sharding and budgets.
+
+    One instance per :func:`fleet_from_env` call; stateless between
+    ``run_jobs`` calls except for the ledger file itself, so suite
+    sections (possibly on concurrent threads) can each resolve their own
+    runner against one shared ledger.
+    """
+
+    def __init__(
+        self,
+        ledger: JobLedger,
+        shards: int = 1,
+        shard_id: int = 0,
+        budget_tokens: int = 0,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        poll_seconds: float = DEFAULT_POLL_SECONDS,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1: {shards}")
+        if not 0 <= shard_id < shards:
+            raise ValueError(
+                f"shard_id must be in [0, {shards}): {shard_id}"
+            )
+        if budget_tokens < 0:
+            raise ValueError(f"budget_tokens must be >= 0: {budget_tokens}")
+        self.ledger = ledger
+        self.shards = shards
+        self.shard_id = shard_id
+        self.budget_tokens = budget_tokens
+        self.lease_seconds = lease_seconds
+        self.poll_seconds = poll_seconds
+        #: Episodes actually executed (not restored) by this runner —
+        #: an engagement counter for tests and the resume smoke check.
+        self.executed = 0
+
+    def owns(self, fingerprint: str) -> bool:
+        """Whether this shard's partition contains the fingerprint."""
+        return int(fingerprint[:16], 16) % self.shards == self.shard_id
+
+    # ------------------------------------------------------------------ #
+    # Dispatch
+    # ------------------------------------------------------------------ #
+
+    def run_jobs(
+        self, jobs: list["TrialJob"], executor: "TrialExecutor"
+    ) -> list["EpisodeResult"]:
+        """Run (or restore) every job; results in submission order.
+
+        The full wave pipelines through ``executor.run_stream`` —
+        completed episodes persist to the ledger as they finish, so a
+        crash at any point loses at most the in-flight episodes.  Raises
+        :class:`BudgetExceededError` after draining in-flight work if
+        the token budget trips.
+        """
+        jobs = list(jobs)
+        if not jobs:
+            return []
+        knobs = knob_fingerprint()
+        prints = [job_fingerprint(job, knobs) for job in jobs]
+        indices_by_print: dict[str, list[int]] = {}
+        for index, fingerprint in enumerate(prints):
+            indices_by_print.setdefault(fingerprint, []).append(index)
+        order = list(indices_by_print)  # submission-ordered, deduplicated
+        representative = {
+            fingerprint: jobs[indices[0]]
+            for fingerprint, indices in indices_by_print.items()
+        }
+
+        entries = self.ledger.load()
+        self._spent = self._ledger_spent(entries)
+        self._budget_tripped = False
+        results: dict[str, EpisodeResult] = {}
+        for fingerprint in order:
+            entry = entries.get(fingerprint)
+            if entry is not None and entry.kind == "done":
+                results[fingerprint] = decode_result(entry.payload)
+
+        pending = [fp for fp in order if fp not in results]
+        mine = [fp for fp in pending if self.owns(fp)]
+        self._run_wave(mine, representative, executor, results)
+        if self.shards > 1 and not self._budget_tripped:
+            self._await_foreign(pending, representative, executor, results)
+        if self._budget_tripped:
+            report = self._budget_report(order, results)
+            raise BudgetExceededError(
+                f"token budget exhausted: {self._spent} tokens recorded in "
+                f"{self.ledger.path} >= REPRO_BUDGET_TOKENS={self.budget_tokens}; "
+                "admission stopped, in-flight episodes persisted",
+                report=report,
+            )
+        return [results[fingerprint] for fingerprint in prints]
+
+    def _run_wave(
+        self,
+        fingerprints: list[str],
+        representative: dict[str, "TrialJob"],
+        executor: "TrialExecutor",
+        results: dict[str, "EpisodeResult"],
+    ) -> None:
+        """Stream one wave of jobs, checkpointing each completion."""
+        if not fingerprints or self._budget_tripped:
+            return
+        admitted: list[str] = []
+
+        def admission():
+            for fingerprint in fingerprints:
+                if self.budget_tokens and self._spent >= self.budget_tokens:
+                    self._budget_tripped = True
+                    return
+                self.ledger.append_lease(
+                    fingerprint, self.shard_id, self.lease_seconds
+                )
+                admitted.append(fingerprint)
+                yield representative[fingerprint]
+
+        # With a budget the stream runs a bounded in-flight window so
+        # admission decisions see near-current spend; without one the
+        # whole wave submits eagerly for maximum pipelining.
+        window = None
+        if self.budget_tokens:
+            window = max(2, 2 * getattr(executor, "max_workers", 1))
+        for index, result in executor.run_stream(admission(), window=window):
+            fingerprint = admitted[index]
+            results[fingerprint] = result
+            self.executed += 1
+            self._spent += result.prompt_tokens + result.output_tokens
+            self.ledger.append_done(
+                fingerprint, representative[fingerprint], result, self.shard_id
+            )
+
+    def _await_foreign(
+        self,
+        pending: list[str],
+        representative: dict[str, "TrialJob"],
+        executor: "TrialExecutor",
+        results: dict[str, "EpisodeResult"],
+    ) -> None:
+        """Adopt, steal, or wait for jobs owned by other shards."""
+        while not self._budget_tripped:
+            missing = [fp for fp in pending if fp not in results]
+            if not missing:
+                return
+            entries = self.ledger.load()
+            self._spent = self._ledger_spent(entries)
+            progressed = False
+            for fingerprint in missing:
+                entry = entries.get(fingerprint)
+                if entry is not None and entry.kind == "done":
+                    results[fingerprint] = decode_result(entry.payload)
+                    progressed = True
+            missing = [fp for fp in missing if fp not in results]
+            if not missing:
+                return
+            now = time.time()
+            stealable = [
+                fp for fp in missing if self._stealable(entries.get(fp), now)
+            ]
+            if stealable:
+                self._run_wave(stealable, representative, executor, results)
+                progressed = True
+            if not progressed:
+                time.sleep(self.poll_seconds)
+
+    def _stealable(self, entry: LedgerEntry | None, now: float) -> bool:
+        """A foreign job is stealable when unclaimed or its lease lapsed."""
+        if entry is None:
+            return True
+        if entry.kind == "done":
+            return False
+        return entry.shard == self.shard_id or entry.expires <= now
+
+    # ------------------------------------------------------------------ #
+    # Budget accounting
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _ledger_spent(entries: dict[str, LedgerEntry]) -> int:
+        """Tokens recorded by every done entry in the ledger (all shards)."""
+        return sum(
+            entry.prompt_tokens + entry.output_tokens
+            for entry in entries.values()
+            if entry.kind == "done"
+        )
+
+    def _budget_report(
+        self, order: list[str], results: dict[str, "EpisodeResult"]
+    ) -> str:
+        from repro.llm.costs import cost_breakdown
+
+        deployment_totals: dict[str, list[int]] = {}
+        for fingerprint in order:
+            result = results.get(fingerprint)
+            if result is None:
+                continue
+            for model, (prompt, output) in result.deployment_tokens.items():
+                bucket = deployment_totals.setdefault(model, [0, 0])
+                bucket[0] += prompt
+                bucket[1] += output
+        tokens = {
+            model: (prompt, output)
+            for model, (prompt, output) in sorted(deployment_totals.items())
+        }
+        costs = cost_breakdown(tokens)
+        lines = [
+            "fleet budget report (partial ledger):",
+            f"  ledger: {self.ledger.path}",
+            f"  jobs completed: {len(results)}/{len(order)} requested in this call",
+            f"  tokens recorded: {self._spent} (budget {self.budget_tokens})",
+        ]
+        for model, (prompt, output) in tokens.items():
+            lines.append(
+                f"  {model}: {prompt} prompt + {output} output tokens"
+                f" ~= ${costs[model]:.4f}"
+            )
+        lines.append(
+            "  resume with a raised REPRO_BUDGET_TOKENS against the same "
+            "REPRO_LEDGER to continue where admission stopped"
+        )
+        return "\n".join(lines)
+
+
+def fleet_from_env() -> FleetRunner | None:
+    """The fleet runner the environment selects, or ``None`` when off.
+
+    ``REPRO_LEDGER`` (a JSONL path) turns the layer on; ``REPRO_SHARDS``
+    / ``REPRO_SHARD_ID`` select this process's partition;
+    ``REPRO_BUDGET_TOKENS`` caps ledger-wide token spend (0 = no cap);
+    ``REPRO_LEASE_SECONDS`` / ``REPRO_FLEET_POLL`` tune work stealing.
+    Read at every call so tests and long-lived processes can retarget
+    ledgers without rebuilding settings objects.
+    """
+    path = raw_knob("REPRO_LEDGER")
+    if not path:
+        return None
+    shards = int_knob("REPRO_SHARDS", 1)
+    shard_id = int_knob("REPRO_SHARD_ID", 0, minimum=0)
+    if shard_id >= shards:
+        raise ValueError(
+            f"REPRO_SHARD_ID must be < REPRO_SHARDS ({shards}), got {shard_id}"
+        )
+    return FleetRunner(
+        JobLedger(Path(path)),
+        shards=shards,
+        shard_id=shard_id,
+        budget_tokens=int_knob("REPRO_BUDGET_TOKENS", 0, minimum=0),
+        lease_seconds=float_knob("REPRO_LEASE_SECONDS", DEFAULT_LEASE_SECONDS),
+        poll_seconds=float_knob("REPRO_FLEET_POLL", DEFAULT_POLL_SECONDS),
+    )

@@ -69,10 +69,28 @@ class EpisodeResult:
     serve_queue_seconds: float = 0.0
     serve_request_seconds: float = 0.0
     serve_inflight_joins: int = 0
+    #: Token volume per serving deployment: effective profile name →
+    #: ``(prompt_tokens, output_tokens)``, recorded by the inference
+    #: scheduler and sorted by name (deterministic equality/pickle).
+    #: The basis of the cost governance layer (``llm/costs.py``,
+    #: ``REPRO_BUDGET_TOKENS``).
+    deployment_tokens: dict[str, tuple[int, int]] = field(default_factory=dict)
 
     @property
     def sim_minutes(self) -> float:
         return self.sim_seconds / 60.0
+
+    @property
+    def cost_usd(self) -> float:
+        """Modeled serving cost of the episode in dollars.
+
+        Priced from :attr:`deployment_tokens` through the rate table in
+        :mod:`repro.llm.costs` (imported lazily: the llm layer imports
+        this module).
+        """
+        from repro.llm.costs import total_cost
+
+        return total_cost(self.deployment_tokens)
 
     @property
     def mean_batch_occupancy(self) -> float:
@@ -161,13 +179,24 @@ class MetricsCollector:
     serve_queue_seconds: float = 0.0
     serve_request_seconds: float = 0.0
     serve_inflight_joins: int = 0
+    deployment_tokens: dict[str, list[int]] = field(default_factory=dict)
 
     def record_llm_call(
-        self, step: int, agent: str, purpose: str, prompt_tokens: int, output_tokens: int
+        self,
+        step: int,
+        agent: str,
+        purpose: str,
+        prompt_tokens: int,
+        output_tokens: int,
+        model: str = "",
     ) -> None:
         self.llm_calls += 1
         self.prompt_tokens += prompt_tokens
         self.output_tokens += output_tokens
+        if model:
+            bucket = self.deployment_tokens.setdefault(model, [0, 0])
+            bucket[0] += prompt_tokens
+            bucket[1] += output_tokens
         self.token_samples.append(
             TokenSample(
                 step=step,
@@ -240,6 +269,10 @@ class MetricsCollector:
             serve_queue_seconds=self.serve_queue_seconds,
             serve_request_seconds=self.serve_request_seconds,
             serve_inflight_joins=self.serve_inflight_joins,
+            deployment_tokens={
+                model: (prompt, output)
+                for model, (prompt, output) in sorted(self.deployment_tokens.items())
+            },
         )
 
 
@@ -299,6 +332,18 @@ class AggregateResult:
     mean_queue_delay: float = 0.0
     mean_request_latency: float = 0.0
     mean_inflight_joins: float = 0.0
+    #: Token volume per serving deployment, summed over the cell's
+    #: trials (effective profile name → (prompt, output); sorted keys),
+    #: and its modeled dollar cost via the ``llm/costs.py`` rate table.
+    #: The per-figure cost report in the suite output sums these.
+    deployment_tokens: dict[str, tuple[int, int]] = field(default_factory=dict)
+    cost_usd: float = 0.0
+
+    def cost_breakdown(self) -> dict[str, float]:
+        """Dollar cost per serving deployment across the cell's trials."""
+        from repro.llm.costs import cost_breakdown
+
+        return cost_breakdown(self.deployment_tokens)
 
     def module_breakdown(self) -> dict[ModuleName, float]:
         total = sum(self.module_seconds.values())
@@ -324,6 +369,18 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
     total_batched = sum(result.serve_batched_requests for result in results)
     total_queue = sum(result.serve_queue_seconds for result in results)
     total_request = sum(result.serve_request_seconds for result in results)
+    deployment_totals: dict[str, list[int]] = {}
+    for result in results:
+        for model, (prompt, output) in result.deployment_tokens.items():
+            bucket = deployment_totals.setdefault(model, [0, 0])
+            bucket[0] += prompt
+            bucket[1] += output
+    deployment_tokens = {
+        model: (prompt, output)
+        for model, (prompt, output) in sorted(deployment_totals.items())
+    }
+    from repro.llm.costs import total_cost
+
     return AggregateResult(
         workload=results[0].workload,
         n_trials=len(results),
@@ -344,4 +401,6 @@ def aggregate(results: list[EpisodeResult]) -> AggregateResult:
         mean_queue_delay=(total_queue / total_batched) if total_batched else 0.0,
         mean_request_latency=(total_request / total_batched) if total_batched else 0.0,
         mean_inflight_joins=mean(result.serve_inflight_joins for result in results),
+        deployment_tokens=deployment_tokens,
+        cost_usd=total_cost(deployment_tokens),
     )

@@ -45,7 +45,8 @@ from repro.experiments import (
     fig7_scalability,
     fig8_serving,
 )
-from repro.experiments.common import ExperimentSettings
+from repro.core.errors import BudgetExceededError
+from repro.experiments.common import ExperimentSettings, metered
 
 _SECTIONS = (
     ("Table I", lambda s: render_table1()),
@@ -67,10 +68,16 @@ def _run_section(
     settings: ExperimentSettings,
 ) -> str:
     started = time.perf_counter()
-    body = runner(settings)
+    with metered() as meter:
+        body = runner(settings)
     elapsed = time.perf_counter() - started
     rule = "=" * 72
-    return f"{rule}\n{title}  (generated in {elapsed:.1f}s wall)\n{rule}\n{body}"
+    block = f"{rule}\n{title}  (generated in {elapsed:.1f}s wall)\n{rule}\n{body}"
+    if not meter.empty:
+        # Token spend is seeded, so unlike the timing line this footer is
+        # byte-identical across serial / parallel / resumed runs.
+        block = f"{block}\n{meter.describe()}"
+    return block
 
 
 def run_all(
@@ -115,7 +122,15 @@ def main(argv: list[str] | None = None) -> None:
     )
     args = parser.parse_args(argv)
     default_to_coarse_for_sweeps()
-    print(run_all(concurrent_sections=args.concurrent_sections))
+    try:
+        print(run_all(concurrent_sections=args.concurrent_sections))
+    except BudgetExceededError as exc:
+        # Admission stopped cleanly: everything that finished is in the
+        # ledger, so a rerun with a raised budget resumes from here.
+        print(f"suite stopped: {exc}")
+        if exc.report:
+            print(exc.report)
+        raise SystemExit(2) from None
 
 
 if __name__ == "__main__":

@@ -209,6 +209,7 @@ class InferenceScheduler:
             purpose=request.purpose,
             prompt_tokens=result.prompt_tokens,
             output_tokens=result.output_tokens,
+            model=backend.profile.name,
         )
         if result.decision is not None:
             self._metrics.record_fault(result.decision.fault)

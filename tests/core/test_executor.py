@@ -1,6 +1,7 @@
 """Executor engine tests: determinism, ordering, crash isolation, pooling."""
 
 import pickle
+import time
 
 import pytest
 
@@ -11,6 +12,7 @@ from repro.core.executor import (
     ParallelExecutor,
     SerialExecutor,
     TrialJob,
+    default_worker_count,
     get_executor,
     make_executor,
     run_trial_job,
@@ -18,6 +20,12 @@ from repro.core.executor import (
 )
 from repro.core.metrics import EpisodeResult
 from repro.core.runner import build_task, run_trials, trial_jobs
+from repro.core.synthetic import (
+    CRASH_SEEDS_KNOB,
+    crash_seed_runner,
+    sleep_runner,
+    synthetic_job,
+)
 from repro.workloads import get_workload
 
 #: One representative workload per paradigm loop (end-to-end is a custom
@@ -126,6 +134,69 @@ class TestCrashIsolation:
         assert "no-such-model" in str(excinfo.value)
 
 
+class TestStreaming:
+    def test_serial_stream_yields_in_order(self):
+        config = get_workload("embodiedgpt").config
+        jobs = trial_jobs(config, 3, difficulty="easy", base_seed=5)
+        stream = list(SerialExecutor().run_stream(jobs))
+        assert [index for index, _ in stream] == [0, 1, 2]
+        assert all(isinstance(result, EpisodeResult) for _, result in stream)
+
+    def test_parallel_stream_covers_every_index(self, parallel4):
+        config = get_workload("embodiedgpt").config
+        jobs = trial_jobs(config, 6, difficulty="easy", base_seed=5)
+        stream = list(parallel4.run_stream(jobs))
+        assert sorted(index for index, _ in stream) == list(range(6))
+        by_index = dict(stream)
+        serial = SerialExecutor().run_jobs(jobs)
+        for index, expected in enumerate(serial):
+            assert pickle.dumps(by_index[index]) == pickle.dumps(expected)
+
+    def test_window_bounds_how_far_jobs_are_pulled(self):
+        pulled = []
+
+        def lazy_jobs():
+            for seed in range(1, 6):
+                job = synthetic_job(seed=seed, duration=0.01)
+                pulled.append(seed)
+                yield job
+
+        with ParallelExecutor(max_workers=2, job_runner=sleep_runner) as executor:
+            yielded = 0
+            for _ in executor.run_stream(lazy_jobs(), window=2):
+                yielded += 1
+                assert len(pulled) <= yielded + 2
+            assert yielded == 5
+        assert pulled == [1, 2, 3, 4, 5]
+
+    def test_failure_preserves_earlier_completions(self, monkeypatch):
+        monkeypatch.setenv(CRASH_SEEDS_KNOB, "3")
+        jobs = [synthetic_job(seed=seed) for seed in range(1, 6)]
+        executor = SerialExecutor(job_runner=crash_seed_runner)
+        seen = []
+        with pytest.raises(TrialExecutionError, match="seed=3"):
+            for index, _ in executor.run_stream(jobs):
+                seen.append(index)
+        assert seen == [0, 1]
+
+    def test_parallel_failure_names_job_promptly(self, monkeypatch):
+        # The crashing job is submitted last behind slow jobs; the
+        # completion watch surfaces it without waiting for the stragglers.
+        monkeypatch.setenv(CRASH_SEEDS_KNOB, "9")
+        jobs = [synthetic_job(seed=seed, duration=0.3) for seed in (1, 2)]
+        jobs.append(synthetic_job(seed=9))
+        with ParallelExecutor(max_workers=4, job_runner=crash_seed_runner) as executor:
+            started = time.perf_counter()
+            with pytest.raises(TrialExecutionError, match="seed=9"):
+                list(executor.run_stream(jobs))
+            elapsed = time.perf_counter() - started
+        assert elapsed < 5.0  # bounded by pool spin-up, not by the sleeps
+
+    def test_stream_rejects_bad_window(self, parallel4):
+        with pytest.raises(ValueError):
+            list(parallel4.run_stream([], window=0))
+
+
 class TestFactoriesAndPooling:
     def test_make_executor_kinds(self):
         assert make_executor("serial").kind == "serial"
@@ -147,6 +218,20 @@ class TestFactoriesAndPooling:
             assert get_executor("parallel", 2) is first
             assert get_executor("parallel", 3) is not first
             assert get_executor("serial") is get_executor("serial")
+        finally:
+            shutdown_shared_executors()
+
+    def test_default_worker_count_shares_explicit_pool(self):
+        # max_workers=None resolves to default_worker_count() before
+        # keying, so the implicit and explicit spellings of the default
+        # configuration never fork two pools.
+        try:
+            implicit = get_executor("parallel")
+            explicit = get_executor("parallel", default_worker_count())
+            assert implicit is explicit
+            assert get_executor("parallel", None) is implicit
+            # Serial executors have no workers: every count keys as one.
+            assert get_executor("serial", 5) is get_executor("serial")
         finally:
             shutdown_shared_executors()
 

@@ -1,0 +1,340 @@
+"""Fleet layer tests: ledger resume, fingerprints, sharding, budgets."""
+
+import json
+import pickle
+import time
+
+import pytest
+
+from repro.core.errors import BudgetExceededError, TrialExecutionError
+from repro.core.executor import ParallelExecutor, SerialExecutor
+from repro.core.fleet import (
+    EXECUTION_KNOBS,
+    FleetRunner,
+    JobLedger,
+    LedgerEntry,
+    decode_result,
+    encode_result,
+    fleet_from_env,
+    job_fingerprint,
+    knob_fingerprint,
+)
+from repro.core.metrics import aggregate
+from repro.core.runner import trial_jobs
+from repro.core.synthetic import (
+    CRASH_SEEDS_KNOB,
+    crash_seed_runner,
+    sleep_runner,
+    synthetic_job,
+)
+from repro.workloads import get_workload
+
+
+def real_jobs(n_trials=3, base_seed=11):
+    config = get_workload("embodiedgpt").config
+    return trial_jobs(config, n_trials, difficulty="easy", base_seed=base_seed)
+
+
+def synth_jobs(n=4, **kwargs):
+    return [synthetic_job(seed=seed, **kwargs) for seed in range(1, n + 1)]
+
+
+@pytest.fixture
+def ledger(tmp_path):
+    return JobLedger(tmp_path / "ledger.jsonl")
+
+
+class TestFingerprints:
+    def test_stable_across_calls(self):
+        job = synth_jobs(1)[0]
+        assert job_fingerprint(job) == job_fingerprint(job)
+
+    def test_distinct_per_seed_and_config(self):
+        jobs = synth_jobs(3)
+        prints = {job_fingerprint(job) for job in jobs}
+        assert len(prints) == 3
+        other = synthetic_job(name="other-system", seed=1)
+        assert job_fingerprint(other) not in prints
+
+    def test_result_knob_invalidates(self, monkeypatch):
+        job = synth_jobs(1)[0]
+        before = job_fingerprint(job)
+        monkeypatch.setenv("REPRO_HOTPATH", "0")
+        assert job_fingerprint(job) != before
+
+    def test_execution_knobs_do_not_invalidate(self, monkeypatch):
+        job = synth_jobs(1)[0]
+        before = job_fingerprint(job)
+        for knob in ("REPRO_WORKERS", "REPRO_TRIALS", "REPRO_SHARDS", "REPRO_LEDGER"):
+            assert knob in EXECUTION_KNOBS
+            monkeypatch.setenv(knob, "9")
+        assert job_fingerprint(job) == before
+
+    def test_knob_fingerprint_only_repro_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DETECTOR", "vector")
+        monkeypatch.setenv("NOT_A_KNOB", "1")
+        knobs = knob_fingerprint()
+        assert knobs.get("REPRO_DETECTOR") == "vector"
+        assert "NOT_A_KNOB" not in knobs
+        assert not any(name in knobs for name in EXECUTION_KNOBS)
+
+
+class TestLedger:
+    def test_done_round_trips_byte_identically(self, ledger):
+        job = real_jobs(1)[0]
+        result = SerialExecutor().run_jobs([job])[0]
+        assert pickle.dumps(decode_result(encode_result(result))) == pickle.dumps(
+            result
+        )
+        ledger.append_done("fp1", job, result, shard=0)
+        entry = ledger.load()["fp1"]
+        assert entry.kind == "done"
+        assert entry.prompt_tokens == result.prompt_tokens
+        assert pickle.dumps(decode_result(entry.payload)) == pickle.dumps(result)
+
+    def test_done_wins_over_any_lease(self, ledger):
+        job = synth_jobs(1)[0]
+        result = SerialExecutor(job_runner=sleep_runner).run_jobs([job])[0]
+        ledger.append_lease("fp1", shard=1, ttl_seconds=600)
+        ledger.append_done("fp1", job, result, shard=0)
+        ledger.append_lease("fp1", shard=2, ttl_seconds=600)
+        assert ledger.load()["fp1"].kind == "done"
+
+    def test_latest_lease_wins(self, ledger):
+        ledger.append_lease("fp1", shard=0, ttl_seconds=1)
+        ledger.append_lease("fp1", shard=1, ttl_seconds=600)
+        entry = ledger.load()["fp1"]
+        assert entry.shard == 1
+
+    def test_torn_trailing_line_is_skipped(self, ledger):
+        job = synth_jobs(1)[0]
+        result = SerialExecutor(job_runner=sleep_runner).run_jobs([job])[0]
+        ledger.append_done("fp1", job, result, shard=0)
+        with ledger.path.open("a") as handle:
+            handle.write('{"kind": "done", "fingerprint": "fp2", "payl')
+        entries = ledger.load()
+        assert set(entries) == {"fp1"}
+
+    def test_records_are_readable_json(self, ledger):
+        job = synth_jobs(1)[0]
+        result = SerialExecutor(job_runner=sleep_runner).run_jobs([job])[0]
+        ledger.append_done("fp1", job, result, shard=0)
+        record = json.loads(ledger.path.read_text().splitlines()[0])
+        assert record["job"] == job.describe()
+        assert record["shard"] == 0
+
+
+class TestCheckpointResume:
+    def test_resume_skips_done_and_matches_serial(self, ledger):
+        jobs = real_jobs(3)
+        serial = SerialExecutor().run_jobs(jobs)
+
+        first = FleetRunner(ledger)
+        results = first.run_jobs(jobs, SerialExecutor())
+        assert first.executed == 3
+
+        second = FleetRunner(ledger)
+        resumed = second.run_jobs(jobs, SerialExecutor())
+        assert second.executed == 0
+        for a, b, c in zip(serial, results, resumed):
+            assert pickle.dumps(a) == pickle.dumps(b) == pickle.dumps(c)
+        assert pickle.dumps(aggregate(resumed)) == pickle.dumps(aggregate(serial))
+
+    def test_crash_mid_sweep_persists_completed_prefix(self, ledger, monkeypatch):
+        jobs = synth_jobs(5)
+        monkeypatch.setenv(CRASH_SEEDS_KNOB, "4")
+        crashing = SerialExecutor(job_runner=crash_seed_runner)
+        runner = FleetRunner(ledger)
+        with pytest.raises(TrialExecutionError):
+            runner.run_jobs(jobs, crashing)
+        done = [e for e in ledger.load().values() if e.kind == "done"]
+        assert len(done) == 3  # seeds 1-3 completed before the crash
+
+        # Restart against the same ledger with the fault cleared: only
+        # the missing episodes run, and the output matches a run that
+        # never crashed.
+        monkeypatch.delenv(CRASH_SEEDS_KNOB)
+        resumed = FleetRunner(ledger)
+        results = resumed.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert resumed.executed == 2
+        uninterrupted = SerialExecutor(job_runner=sleep_runner).run_jobs(jobs)
+        assert pickle.dumps(aggregate(results)) == pickle.dumps(
+            aggregate(uninterrupted)
+        )
+
+    def test_worker_crash_mid_sweep_resumes_parallel(self, ledger, monkeypatch):
+        jobs = synth_jobs(6, duration=0.01)
+        monkeypatch.setenv(CRASH_SEEDS_KNOB, "5,6")
+        with ParallelExecutor(max_workers=2, job_runner=crash_seed_runner) as pool:
+            with pytest.raises(TrialExecutionError, match="seed"):
+                FleetRunner(ledger).run_jobs(jobs, pool)
+        survivors = sum(1 for e in ledger.load().values() if e.kind == "done")
+        assert survivors >= 1  # at least the completions that beat the crash
+
+        monkeypatch.delenv(CRASH_SEEDS_KNOB)
+        resumed = FleetRunner(ledger)
+        results = resumed.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert resumed.executed == 6 - survivors
+        uninterrupted = SerialExecutor(job_runner=sleep_runner).run_jobs(jobs)
+        assert pickle.dumps(aggregate(results)) == pickle.dumps(
+            aggregate(uninterrupted)
+        )
+
+    def test_knob_change_invalidates_resume(self, ledger, monkeypatch):
+        jobs = synth_jobs(2)
+        executor = SerialExecutor(job_runner=sleep_runner)
+        FleetRunner(ledger).run_jobs(jobs, executor)
+        monkeypatch.setenv("REPRO_HOTPATH", "0")
+        rerun = FleetRunner(ledger)
+        rerun.run_jobs(jobs, executor)
+        assert rerun.executed == 2  # nothing restored: fingerprints moved
+
+    def test_duplicate_jobs_execute_once(self, ledger):
+        job = synth_jobs(1)[0]
+        runner = FleetRunner(ledger)
+        results = runner.run_jobs(
+            [job, job, job], SerialExecutor(job_runner=sleep_runner)
+        )
+        assert runner.executed == 1
+        assert len(results) == 3
+        assert pickle.dumps(results[0]) == pickle.dumps(results[2])
+
+
+class TestSharding:
+    def test_partition_covers_all_fingerprints(self, ledger):
+        runners = [
+            FleetRunner(ledger, shards=3, shard_id=i) for i in range(3)
+        ]
+        prints = [job_fingerprint(job) for job in synth_jobs(12)]
+        for fingerprint in prints:
+            owners = [r.owns(fingerprint) for r in runners]
+            assert owners.count(True) == 1
+
+    def test_single_process_shard_steals_to_completion(self, ledger):
+        jobs = synth_jobs(6)
+        shard = FleetRunner(ledger, shards=2, shard_id=0)
+        results = shard.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert len(results) == 6
+        assert shard.executed == 6  # owned partition + stolen remainder
+
+    def test_second_shard_adopts_finished_work(self, ledger):
+        jobs = synth_jobs(6)
+        executor = SerialExecutor(job_runner=sleep_runner)
+        FleetRunner(ledger, shards=2, shard_id=0).run_jobs(jobs, executor)
+        late = FleetRunner(ledger, shards=2, shard_id=1)
+        results = late.run_jobs(jobs, executor)
+        assert late.executed == 0
+        assert len(results) == 6
+
+    def test_live_lease_blocks_steal_until_expiry(self, ledger):
+        runner = FleetRunner(ledger, shards=2, shard_id=0)
+        live = LedgerEntry(
+            kind="lease", fingerprint="fp", shard=1, expires=time.time() + 60
+        )
+        expired = LedgerEntry(
+            kind="lease", fingerprint="fp", shard=1, expires=time.time() - 1
+        )
+        own = LedgerEntry(
+            kind="lease", fingerprint="fp", shard=0, expires=time.time() + 60
+        )
+        now = time.time()
+        assert not runner._stealable(live, now)
+        assert runner._stealable(expired, now)
+        assert runner._stealable(own, now)  # own stale lease from a past crash
+        assert runner._stealable(None, now)
+
+    def test_shard_validation(self, ledger):
+        with pytest.raises(ValueError):
+            FleetRunner(ledger, shards=0)
+        with pytest.raises(ValueError):
+            FleetRunner(ledger, shards=2, shard_id=2)
+
+
+class TestBudget:
+    def test_budget_stops_admission_with_report(self, ledger):
+        jobs = synth_jobs(5, prompt_tokens=60, output_tokens=40)
+        runner = FleetRunner(ledger, budget_tokens=250)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            runner.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        # 100 tokens/job against a 250 cap: spend crosses the cap after
+        # job 3; everything admitted before that persisted.
+        assert runner.executed == 3
+        assert sum(1 for e in ledger.load().values() if e.kind == "done") == 3
+        report = excinfo.value.report
+        assert "3/5" in report
+        assert "llama-3-8b" in report
+        assert "REPRO_BUDGET_TOKENS" in str(excinfo.value)
+
+    def test_raised_budget_resumes_partial_ledger(self, ledger):
+        jobs = synth_jobs(5, prompt_tokens=60, output_tokens=40)
+        executor = SerialExecutor(job_runner=sleep_runner)
+        with pytest.raises(BudgetExceededError):
+            FleetRunner(ledger, budget_tokens=250).run_jobs(jobs, executor)
+        resumed = FleetRunner(ledger, budget_tokens=10_000)
+        results = resumed.run_jobs(jobs, executor)
+        assert resumed.executed == 2
+        uninterrupted = SerialExecutor(job_runner=sleep_runner).run_jobs(jobs)
+        assert pickle.dumps(aggregate(results)) == pickle.dumps(
+            aggregate(uninterrupted)
+        )
+
+    def test_spend_counts_prior_ledger_contents(self, ledger):
+        executor = SerialExecutor(job_runner=sleep_runner)
+        FleetRunner(ledger).run_jobs(
+            synth_jobs(2, prompt_tokens=60, output_tokens=40), executor
+        )
+        # 200 tokens already on the ledger: a 200-token budget admits
+        # nothing new.
+        fresh = [synthetic_job(name="second-wave", seed=s) for s in (1, 2)]
+        runner = FleetRunner(ledger, budget_tokens=200)
+        with pytest.raises(BudgetExceededError):
+            runner.run_jobs(fresh, executor)
+        assert runner.executed == 0
+
+    def test_zero_budget_means_unlimited(self, ledger):
+        jobs = synth_jobs(4, prompt_tokens=1000, output_tokens=1000)
+        runner = FleetRunner(ledger, budget_tokens=0)
+        assert len(runner.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))) == 4
+
+
+class TestEnvConstruction:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LEDGER", raising=False)
+        assert fleet_from_env() is None
+
+    def test_env_knobs_select_runner(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "l.jsonl"))
+        monkeypatch.setenv("REPRO_SHARDS", "4")
+        monkeypatch.setenv("REPRO_SHARD_ID", "2")
+        monkeypatch.setenv("REPRO_BUDGET_TOKENS", "5000")
+        monkeypatch.setenv("REPRO_LEASE_SECONDS", "7.5")
+        monkeypatch.setenv("REPRO_FLEET_POLL", "0.05")
+        runner = fleet_from_env()
+        assert runner is not None
+        assert (runner.shards, runner.shard_id) == (4, 2)
+        assert runner.budget_tokens == 5000
+        assert runner.lease_seconds == 7.5
+        assert runner.poll_seconds == 0.05
+
+    def test_shard_id_must_fit(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "l.jsonl"))
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        monkeypatch.setenv("REPRO_SHARD_ID", "2")
+        with pytest.raises(ValueError, match="REPRO_SHARD_ID"):
+            fleet_from_env()
+
+    def test_grid_dispatch_routes_through_ledger(self, tmp_path, monkeypatch):
+        from repro.experiments.common import ExperimentSettings, measure
+
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "grid.jsonl"))
+        settings = ExperimentSettings(
+            n_trials=2, executor="serial", max_workers=1, difficulty="easy"
+        )
+        config = get_workload("embodiedgpt").config
+        first = measure(config, settings)
+        assert (tmp_path / "grid.jsonl").exists()
+        second = measure(config, settings)  # restored wholly from ledger
+        assert pickle.dumps(first) == pickle.dumps(second)
+        monkeypatch.delenv("REPRO_LEDGER")
+        direct = measure(config, settings)
+        assert pickle.dumps(direct) == pickle.dumps(first)

@@ -74,6 +74,59 @@ class TestCollector:
         assert not collector.faults
 
 
+class TestDeploymentCost:
+    def test_collector_attributes_tokens_per_model(self):
+        collector = MetricsCollector(workload="probe", horizon=10)
+        clock = SimClock()
+        collector.record_llm_call(1, "a0", "plan", 100, 20, model="gpt-4")
+        collector.record_llm_call(1, "a0", "message", 50, 10, model="gpt-4")
+        collector.record_llm_call(2, "a1", "plan", 40, 5, model="llama-3-8b")
+        result = collector.finalize(clock, success=True, steps=2, goal_progress=1.0)
+        assert result.deployment_tokens == {
+            "gpt-4": (150, 30),
+            "llama-3-8b": (40, 5),
+        }
+
+    def test_untagged_calls_carry_no_deployment(self):
+        result = build_result()
+        assert result.deployment_tokens == {}
+        assert result.cost_usd == 0.0
+
+    def test_episode_cost_prices_each_deployment(self):
+        collector = MetricsCollector(workload="probe", horizon=10)
+        collector.record_llm_call(1, "a0", "plan", 1_000_000, 100_000, model="gpt-4")
+        result = collector.finalize(
+            SimClock(), success=True, steps=1, goal_progress=1.0
+        )
+        assert result.cost_usd == pytest.approx(36.0)
+
+    def test_aggregate_sums_deployments_across_trials(self):
+        def tagged(prompt, output, model):
+            collector = MetricsCollector(workload="probe", horizon=10)
+            collector.record_llm_call(1, "a0", "plan", prompt, output, model=model)
+            return collector.finalize(
+                SimClock(), success=True, steps=1, goal_progress=1.0
+            )
+
+        agg = aggregate(
+            [
+                tagged(100, 10, "gpt-4"),
+                tagged(200, 20, "gpt-4"),
+                tagged(50, 5, "llama-3-8b"),
+            ]
+        )
+        assert agg.deployment_tokens == {
+            "gpt-4": (300, 30),
+            "llama-3-8b": (50, 5),
+        }
+        assert agg.cost_usd == pytest.approx(
+            (300 * 30.0 + 30 * 60.0 + 50 * 0.10 + 5 * 0.10) / 1e6
+        )
+        breakdown = agg.cost_breakdown()
+        assert list(breakdown) == ["gpt-4", "llama-3-8b"]
+        assert sum(breakdown.values()) == pytest.approx(agg.cost_usd)
+
+
 class TestAggregate:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

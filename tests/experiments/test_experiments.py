@@ -8,12 +8,13 @@ benchmarks and EXPERIMENTS.md.
 
 import pytest
 
-from repro.experiments import fig3_sensitivity, fig6_tokens
+from repro.experiments import fig3_sensitivity, fig6_tokens, suite
 from repro.experiments.common import (
     ExperimentSettings,
     GridCell,
     measure,
     measure_grid,
+    metered,
     trials_from_env,
     workers_from_env,
 )
@@ -79,6 +80,44 @@ class TestCommon:
         configs = [get_workload(name).config for name in ("embodiedgpt", "jarvis-1")]
         grid_results = measure_grid([GridCell(config=c) for c in configs], FAST)
         assert grid_results == [measure(c, FAST) for c in configs]
+
+
+class TestCostMetering:
+    def test_meter_collects_dispatched_episodes(self):
+        with metered() as meter:
+            measure(get_workload("embodiedgpt").config, FAST)
+        assert not meter.empty
+        totals = meter.totals()
+        assert all(prompt > 0 for prompt, _ in totals.values())
+        line = meter.describe()
+        assert line.startswith("LLM serving cost: $")
+        for model in totals:
+            assert model in line
+
+    def test_meter_scopes_nest_and_restore(self):
+        with metered() as outer:
+            with metered() as inner:
+                measure(get_workload("embodiedgpt").config, FAST)
+            snapshot = inner.totals()
+            measure(get_workload("jarvis-1").config, FAST)
+        assert snapshot and inner.totals() == snapshot  # no leak from outer scope
+        assert not outer.empty
+
+    def test_dispatch_outside_meter_is_fine(self):
+        measure(get_workload("embodiedgpt").config, FAST)  # no active meter
+
+    def test_suite_section_footer_carries_cost(self):
+        block = suite._run_section(
+            "Probe",
+            lambda s: (measure(get_workload("embodiedgpt").config, s), "body")[1],
+            FAST,
+        )
+        assert "LLM serving cost: $" in block
+        assert block.splitlines()[-1].startswith("LLM serving cost:")
+
+    def test_suite_section_without_episodes_has_no_footer(self):
+        block = suite._run_section("Probe", lambda s: "body", FAST)
+        assert "LLM serving cost" not in block
 
 
 class TestFig3Structure:
