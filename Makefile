@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-hotpath bench-comm bench-planning bench-serving bench-fleet bench-all lint format suite docs-check resume-smoke
+.PHONY: test bench bench-hotpath bench-comm bench-planning bench-serving bench-fleet bench-all lint format suite docs-check resume-smoke fleet-drill
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,15 @@ bench-all: bench-hotpath bench-comm bench-planning bench-serving bench-fleet
 # the aggregates to come back byte-identical.
 resume-smoke:
 	$(PYTHON) scripts/resume_smoke.py
+
+# Multi-process kill-and-steal drill: N real shard processes against one
+# ledger, one SIGKILLed mid-sweep; survivors must steal its leases, the
+# restored aggregates must match a serial reference byte-for-byte, and
+# `fleet status` must exit 0.  Run twice: plain, then with batched
+# flushes + compaction engaged.
+fleet-drill:
+	$(PYTHON) scripts/fleet_drill.py --shards 3
+	$(PYTHON) scripts/fleet_drill.py --shards 3 --flush 0.05 --compact 20
 
 lint:
 	ruff check .

@@ -11,7 +11,10 @@ fault cleared, and require that
 
 Exercises the real production path (``measure_grid`` ->
 ``dispatch_jobs`` -> ``fleet_from_env`` -> ledger) with real episodes —
-the same wiring a suite operator uses via ``REPRO_LEDGER``.
+the same wiring a suite operator uses via ``REPRO_LEDGER``.  The ledger
+runs with batched appends (bounded flush window) and an aggressive
+compaction threshold, so byte-identical resume is asserted against the
+buffered/compacted write path, not the naive write-per-episode one.
 
 Usage::
 
@@ -60,7 +63,13 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         ledger_path = Path(tmp) / "smoke-ledger.jsonl"
 
-        first = FleetRunner(JobLedger(ledger_path))
+        # Batched flushes + a compaction threshold low enough to fire
+        # during this tiny sweep: resume must stay byte-identical with
+        # the full buffered/compacted I/O path engaged.
+        def smoke_ledger() -> JobLedger:
+            return JobLedger(ledger_path, flush_seconds=0.5, compact_records=2)
+
+        first = FleetRunner(smoke_ledger())
         try:
             first.run_jobs(jobs, SerialExecutor(job_runner=crash_on_seed))
         except TrialExecutionError:
@@ -70,7 +79,7 @@ def main() -> None:
         if first.executed != 2:
             fail(f"expected 2 episodes before the crash, ledger has {first.executed}")
 
-        second = FleetRunner(JobLedger(ledger_path))
+        second = FleetRunner(smoke_ledger())
         resumed = aggregate(second.run_jobs(jobs, SerialExecutor()))
         if second.executed != N_TRIALS - 2:
             fail(

@@ -108,6 +108,16 @@ class TrialExecutor(ABC):
 
     kind: str = "abstract"
 
+    @property
+    def concurrency(self) -> int:
+        """How many jobs this executor can usefully keep in flight.
+
+        The fleet layer sizes its budget-admission window from this
+        (``2 * concurrency``): wide enough to keep every worker busy,
+        narrow enough that spend is re-checked before each pull.
+        """
+        return 1
+
     @abstractmethod
     def run_stream(
         self, jobs: Iterable[TrialJob], window: int | None = None
@@ -192,6 +202,10 @@ class ParallelExecutor(TrialExecutor):
     """
 
     kind = "parallel"
+
+    @property
+    def concurrency(self) -> int:
+        return self.max_workers
 
     def __init__(
         self,

@@ -190,10 +190,13 @@ def dispatch_jobs(
 
     The single dispatch seam for every experiment: when ``REPRO_LEDGER``
     is set the wave routes through the fleet runner (checkpoint/resume,
-    sharding, token budget), otherwise straight through the settings'
-    executor.  Either way every job is in flight together — no
-    intermediate barriers — and the episode stream feeds the active
-    :class:`CostMeter`.
+    sharding, token budget — with incremental ledger reads and batched
+    appends, so polling cost stays O(new records), not O(history)),
+    otherwise straight through the settings' executor.  Either way every
+    job is in flight together — no intermediate barriers — and the
+    episode stream feeds the active :class:`CostMeter`.  Under an active
+    :func:`repro.core.fleet.budget_scope` (suite budget partitioning)
+    the runner meters only this wave's own spend.
     """
     executor = settings.make_executor()
     fleet = fleet_from_env()

@@ -10,15 +10,21 @@ from repro.core.errors import BudgetExceededError, TrialExecutionError
 from repro.core.executor import ParallelExecutor, SerialExecutor
 from repro.core.fleet import (
     EXECUTION_KNOBS,
+    STATUS_COMPLETE,
+    STATUS_IN_PROGRESS,
+    STATUS_OVER_BUDGET,
     FleetRunner,
     JobLedger,
     LedgerEntry,
+    budget_scope,
     decode_result,
     encode_result,
     fleet_from_env,
     job_fingerprint,
     knob_fingerprint,
+    ledger_status,
 )
+from repro.core.fleet import main as fleet_main
 from repro.core.metrics import aggregate
 from repro.core.runner import trial_jobs
 from repro.core.synthetic import (
@@ -227,21 +233,33 @@ class TestSharding:
         assert len(results) == 6
 
     def test_live_lease_blocks_steal_until_expiry(self, ledger):
+        # Lease TTLs are compared on the monotonic clock: the serialized
+        # record carries wall time, but _stealable only ever looks at the
+        # rebased ``deadline`` so a wall-clock step can't expire (or
+        # immortalize) someone else's lease.
         runner = FleetRunner(ledger, shards=2, shard_id=0)
+        now = time.monotonic()
         live = LedgerEntry(
-            kind="lease", fingerprint="fp", shard=1, expires=time.time() + 60
+            kind="lease", fingerprint="fp", shard=1, deadline=now + 60
         )
         expired = LedgerEntry(
-            kind="lease", fingerprint="fp", shard=1, expires=time.time() - 1
+            kind="lease", fingerprint="fp", shard=1, deadline=now - 1
         )
         own = LedgerEntry(
-            kind="lease", fingerprint="fp", shard=0, expires=time.time() + 60
+            kind="lease", fingerprint="fp", shard=0, deadline=now + 60
         )
-        now = time.time()
         assert not runner._stealable(live, now)
         assert runner._stealable(expired, now)
         assert runner._stealable(own, now)  # own stale lease from a past crash
         assert runner._stealable(None, now)
+
+    def test_lease_deadline_rebased_from_wall_clock(self, ledger):
+        # A replayed lease record's wall-clock expiry is translated into
+        # a monotonic deadline at apply time.
+        ledger.append_lease("fp-mono", shard=3, ttl_seconds=60)
+        entry = ledger.load()["fp-mono"]
+        remaining = entry.deadline - time.monotonic()
+        assert 55 < remaining <= 60
 
     def test_shard_validation(self, ledger):
         with pytest.raises(ValueError):
@@ -338,3 +356,389 @@ class TestEnvConstruction:
         monkeypatch.delenv("REPRO_LEDGER")
         direct = measure(config, settings)
         assert pickle.dumps(direct) == pickle.dumps(first)
+
+
+class TestIncrementalTail:
+    def seed(self, writer, n, name="hist", start=0):
+        knobs = knob_fingerprint()
+        prints = []
+        for index in range(start, start + n):
+            job = synthetic_job(name=f"{name}-{index}", seed=index)
+            fingerprint = job_fingerprint(job, knobs)
+            writer.append_done(fingerprint, job, sleep_runner(job), shard=0)
+            prints.append(fingerprint)
+        return prints
+
+    def test_second_load_reads_only_new_bytes(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        self.seed(writer, 10)
+        reader = JobLedger(path)
+        reader.load()
+        initial = reader.bytes_read
+        assert initial >= path.stat().st_size
+        before = path.stat().st_size
+        self.seed(writer, 1, name="new", start=10)
+        reader.load()
+        delta = reader.bytes_read - initial
+        assert delta == path.stat().st_size - before  # only the new record
+        assert len(reader.load()) == 11
+
+    def test_noop_poll_reads_nothing(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        self.seed(writer, 3)
+        reader = JobLedger(path)
+        reader.load()
+        read = reader.bytes_read
+        for _poll in range(5):
+            reader.load()
+        assert reader.bytes_read == read
+
+    def test_full_reload_mode_rereads_history(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        self.seed(writer, 5)
+        size = path.stat().st_size
+        reference = JobLedger(path, tail=False)
+        reference.load()
+        reference.load()
+        assert reference.bytes_read >= 2 * size
+
+    def test_torn_line_consumed_once_completed(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        self.seed(writer, 1)
+        reader = JobLedger(path)
+        assert len(reader.load()) == 1
+        record = json.dumps(
+            {
+                "kind": "lease",
+                "fingerprint": "torn-fp",
+                "shard": 2,
+                "ts": round(time.time(), 3),
+                "expires": time.time() + 60,
+            }
+        ).encode()
+        with path.open("ab") as handle:  # a writer died mid-append
+            handle.write(record[:10])
+        assert len(reader.load()) == 1  # torn tail stays unconsumed
+        with path.open("ab") as handle:
+            handle.write(record[10:] + b"\n")
+        entries = reader.load()
+        assert entries["torn-fp"].kind == "lease"
+        assert entries["torn-fp"].shard == 2
+
+
+class TestBatchedFlush:
+    def test_buffer_invisible_to_others_until_flush(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        buffered = JobLedger(path, flush_seconds=60)
+        buffered.append_lease("fp-buf", shard=0, ttl_seconds=60)
+        assert "fp-buf" in buffered.load()  # own view is current
+        other = JobLedger(path)
+        assert "fp-buf" not in other.load()
+        buffered.flush()
+        assert "fp-buf" in other.load()
+
+    def test_elapsed_window_triggers_flush(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        buffered = JobLedger(path, flush_seconds=0.01)
+        buffered.append_lease("fp-a", shard=0, ttl_seconds=60)
+        time.sleep(0.02)
+        buffered.append_lease("fp-b", shard=0, ttl_seconds=60)
+        other = JobLedger(path)
+        assert set(other.load()) == {"fp-a", "fp-b"}
+
+    def test_flush_heals_foreign_torn_tail(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_bytes(b'{"kind":"lease","fingerprint":"half')  # no newline
+        writer = JobLedger(path)
+        writer.append_lease("fp-after", shard=1, ttl_seconds=60)
+        reader = JobLedger(path)
+        entries = reader.load()
+        # The torn line was terminated before the append, so the new
+        # record parses; the half record is skipped as corrupt.
+        assert "fp-after" in entries
+        assert "half" not in entries
+
+    def test_unflushed_records_are_the_crash_loss_bound(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        buffered = JobLedger(path, flush_seconds=60)
+        buffered.append_lease("fp-lost", shard=0, ttl_seconds=60)
+        del buffered  # crash before any flush: loss <= one flush window
+        assert not path.exists() or path.stat().st_size == 0
+
+
+class TestCompaction:
+    def churn(self, writer, n, start=0):
+        knobs = knob_fingerprint()
+        prints = []
+        for index in range(start, start + n):
+            job = synthetic_job(name=f"churn-{index}", seed=index)
+            fingerprint = job_fingerprint(job, knobs)
+            writer.append_lease(fingerprint, shard=0, ttl_seconds=60)
+            writer.append_done(fingerprint, job, sleep_runner(job), shard=0)
+            prints.append(fingerprint)
+        return prints
+
+    def test_compaction_snapshots_and_truncates(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path, compact_records=4)
+        prints = self.churn(writer, 6)
+        writer.flush()
+        assert writer.compactions >= 1
+        assert writer.generation >= 1
+        assert writer.snap_path.exists()
+        assert path.stat().st_size < writer.bytes_appended
+        fresh = JobLedger(path)
+        entries = fresh.load()
+        assert all(entries[fp].kind == "done" for fp in prints)
+        assert fresh.generation == writer.generation
+
+    def test_reader_with_stale_offset_recovers(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path, compact_records=4)
+        first = self.churn(writer, 2)
+        reader = JobLedger(path)
+        assert len(reader.load()) == 2
+        more = self.churn(writer, 4, start=2)  # pushes garbage past 4
+        writer.flush()
+        assert writer.compactions >= 1
+        entries = reader.load()  # offset now points past the truncated file
+        assert all(entries[fp].kind == "done" for fp in first + more)
+
+    def test_crash_between_rename_and_truncate_replays_idempotently(
+        self, tmp_path
+    ):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path, compact_records=4)
+        prints = self.churn(writer, 6)
+        journal_before = path.read_bytes()
+        writer.flush()
+        assert writer.compactions >= 1
+        # Simulate dying after the snapshot rename but before the
+        # truncate: the journal still holds every pre-compaction record.
+        path.write_bytes(journal_before)
+        fresh = JobLedger(path)
+        entries = fresh.load()
+        assert sum(1 for e in entries.values() if e.kind == "done") == 6
+        assert all(entries[fp].kind == "done" for fp in prints)
+
+    def test_truncated_snapshot_degrades_and_rerun_heals(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path, compact_records=4)
+        jobs = [synthetic_job(name=f"churn-{i}", seed=i) for i in range(6)]
+        self.churn(writer, 6)
+        writer.flush()
+        snap = writer.snap_path
+        blob = snap.read_bytes()
+        snap.write_bytes(blob[: len(blob) // 2])  # torn snapshot
+        fresh = JobLedger(path)
+        entries = fresh.load()  # must not raise
+        # Best effort: records the torn half lost are gone, everything
+        # still parseable (journal tail + surviving snapshot lines) is
+        # applied...
+        survivors = sum(1 for e in entries.values() if e.kind == "done")
+        assert 0 < survivors < 6
+        # ...and a rerun self-heals: restored episodes are adopted, the
+        # lost ones re-execute, and the ledger ends complete.
+        runner = FleetRunner(JobLedger(path))
+        results = runner.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert len(results) == 6
+        assert runner.executed == 6 - survivors
+        final = JobLedger(path).load()
+        knobs = knob_fingerprint()
+        assert all(
+            final[job_fingerprint(job, knobs)].kind == "done" for job in jobs
+        )
+
+    def test_corrupt_snapshot_header_reported_none(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path, compact_records=4)
+        self.churn(writer, 6)
+        writer.flush()
+        writer.snap_path.write_bytes(b"not json at all\n")
+        fresh = JobLedger(path)
+        fresh.load()  # must not raise
+        assert fresh.generation is None
+
+
+class TestCorruptLedger:
+    def test_duplicate_done_conflicting_payloads_first_wins(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        job = synthetic_job(name="dup", seed=1, prompt_tokens=10, output_tokens=5)
+        first = sleep_runner(job)
+        conflicting = sleep_runner(
+            synthetic_job(name="dup", seed=1, prompt_tokens=999, output_tokens=999)
+        )
+        writer.append_done("fp-dup", job, first, shard=0)
+        writer.append_done("fp-dup", job, conflicting, shard=1)
+        for ledger in (writer, JobLedger(path)):
+            entry = ledger.load()["fp-dup"]
+            assert entry.prompt_tokens == 10  # replay order, deterministic
+            assert entry.shard == 0
+            assert pickle.dumps(decode_result(entry.payload)) == pickle.dumps(first)
+
+    def test_lease_for_unknown_fingerprint_tolerated(self, ledger):
+        ledger.append_lease("no-such-job", shard=0, ttl_seconds=0.0)
+        jobs = synth_jobs(2)
+        runner = FleetRunner(ledger)
+        results = runner.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert len(results) == 2 and runner.executed == 2
+        assert ledger.load()["no-such-job"].kind == "lease"
+
+    def test_mid_file_garbage_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        writer = JobLedger(path)
+        writer.append_lease("fp-1", shard=0, ttl_seconds=60)
+        with path.open("ab") as handle:
+            handle.write(b"%% corrupted by a disk hiccup %%\n")
+        writer2 = JobLedger(path)
+        writer2.append_lease("fp-2", shard=1, ttl_seconds=60)
+        entries = JobLedger(path).load()
+        assert set(entries) == {"fp-1", "fp-2"}
+
+
+class TestStatusCLI:
+    def complete_ledger(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        runner = FleetRunner(JobLedger(path))
+        runner.run_jobs(synth_jobs(3), SerialExecutor(job_runner=sleep_runner))
+        return path
+
+    def test_complete_exits_zero(self, tmp_path, capsys):
+        path = self.complete_ledger(tmp_path)
+        assert fleet_main(["status", str(path)]) == STATUS_COMPLETE
+        out = capsys.readouterr().out
+        assert "complete" in out
+        assert "3 done" in out
+        assert "shard 0" in out
+
+    def test_empty_ledger_is_in_progress(self, tmp_path):
+        report, code = ledger_status(tmp_path / "missing.jsonl")
+        assert code == STATUS_IN_PROGRESS
+        assert "empty" in report
+
+    def test_pending_lease_is_in_progress(self, tmp_path):
+        path = self.complete_ledger(tmp_path)
+        writer = JobLedger(path)
+        writer.append_lease("fp-in-flight", shard=1, ttl_seconds=600)
+        report, code = ledger_status(path)
+        assert code == STATUS_IN_PROGRESS
+        assert "1 leased (live)" in report
+
+    def test_dead_lease_is_in_progress_and_reported(self, tmp_path):
+        path = self.complete_ledger(tmp_path)
+        writer = JobLedger(path)
+        writer.append_lease("fp-lost", shard=2, ttl_seconds=0.0)
+        report, code = ledger_status(path)
+        assert code == STATUS_IN_PROGRESS
+        assert "dead lease" in report
+        assert "stealable" in report
+
+    def test_over_budget_exits_two(self, tmp_path, monkeypatch):
+        path = self.complete_ledger(tmp_path)  # 3 x 100 tokens
+        monkeypatch.setenv("REPRO_BUDGET_TOKENS", "250")
+        report, code = ledger_status(path)
+        assert code == STATUS_OVER_BUDGET
+        assert "OVER BUDGET" in report
+        monkeypatch.setenv("REPRO_BUDGET_TOKENS", "50000")
+        _report, code = ledger_status(path)
+        assert code == STATUS_COMPLETE
+
+    def test_report_prices_spend_without_decoding_payloads(self, tmp_path):
+        path = self.complete_ledger(tmp_path)
+        report, _code = ledger_status(path)
+        assert "llama-3-8b $" in report
+        assert "300 spent" in report
+
+
+class TestBudgetScopes:
+    def test_scope_validates_tokens(self):
+        with pytest.raises(ValueError):
+            with budget_scope(0):
+                pass
+
+    def test_scope_selects_wave_budget(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.jsonl"))
+        monkeypatch.setenv("REPRO_BUDGET_TOKENS", "9000")
+        with budget_scope(500):
+            runner = fleet_from_env()
+            assert runner.budget_tokens == 500
+            assert runner.budget_scope == "wave"
+        runner = fleet_from_env()
+        assert runner.budget_tokens == 9000
+        assert runner.budget_scope == "ledger"
+
+    def test_scopes_nest_and_restore(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.jsonl"))
+        with budget_scope(100):
+            with budget_scope(50):
+                assert fleet_from_env().budget_tokens == 50
+            assert fleet_from_env().budget_tokens == 100
+
+    def test_wave_budget_ignores_foreign_ledger_spend(self, ledger):
+        # Another figure's episodes already cost 10k tokens on the
+        # shared ledger...
+        foreign = FleetRunner(ledger)
+        foreign.run_jobs(
+            [synthetic_job(name="foreign", seed=9, prompt_tokens=9000,
+                           output_tokens=1000)],
+            SerialExecutor(job_runner=sleep_runner),
+        )
+        jobs = synth_jobs(5, prompt_tokens=60, output_tokens=40)
+        # ...a ledger-scoped budget of 250 would trip before admitting
+        # anything; the wave scope meters only this call's own jobs.
+        with pytest.raises(BudgetExceededError):
+            FleetRunner(ledger, budget_tokens=250).run_jobs(
+                jobs, SerialExecutor(job_runner=sleep_runner)
+            )
+        wave = FleetRunner(ledger, budget_tokens=250, budget_scope="wave")
+        with pytest.raises(BudgetExceededError) as excinfo:
+            wave.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert wave.executed == 3  # 100 tokens/job against its own 250
+        assert "partitioned wave budget" in str(excinfo.value)
+
+    def test_wave_budget_counts_restored_own_jobs(self, ledger):
+        jobs = synth_jobs(4, prompt_tokens=60, output_tokens=40)
+        FleetRunner(ledger).run_jobs(
+            jobs[:3], SerialExecutor(job_runner=sleep_runner)
+        )
+        # 3 restored jobs (300 tokens) already exceed the 250 wave share:
+        # nothing new is admitted, restored results still come back.
+        wave = FleetRunner(ledger, budget_tokens=250, budget_scope="wave")
+        with pytest.raises(BudgetExceededError):
+            wave.run_jobs(jobs, SerialExecutor(job_runner=sleep_runner))
+        assert wave.executed == 0
+
+    def test_scope_kind_validates(self, ledger):
+        with pytest.raises(ValueError):
+            FleetRunner(ledger, budget_scope="figure")
+
+
+class TestLedgerEnvKnobs:
+    def test_flush_and_compaction_knobs(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER", str(tmp_path / "ledger.jsonl"))
+        runner = fleet_from_env()
+        assert runner.ledger.flush_seconds == 0.5  # batched by default
+        assert runner.ledger.compact_records == 256
+        monkeypatch.setenv("REPRO_FLUSH_SECONDS", "0")
+        monkeypatch.setenv("REPRO_COMPACT_RECORDS", "16")
+        runner = fleet_from_env()
+        assert runner.ledger.flush_seconds == 0.0
+        assert runner.ledger.compact_records == 16
+
+    def test_io_knobs_do_not_invalidate_fingerprints(self, monkeypatch):
+        job = synth_jobs(1)[0]
+        before = job_fingerprint(job)
+        for knob in (
+            "REPRO_FLUSH_SECONDS",
+            "REPRO_COMPACT_RECORDS",
+            "REPRO_BUDGET_PARTITION",
+            "REPRO_BENCH_ATTEMPTS",
+        ):
+            assert knob in EXECUTION_KNOBS
+            monkeypatch.setenv(knob, "7")
+        assert job_fingerprint(job) == before
